@@ -1,0 +1,49 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, times the
+regeneration with pytest-benchmark, prints the paper-style rows, and
+archives them under ``benchmarks/output/`` so EXPERIMENTS.md can point at
+concrete numbers.
+
+The workload scale is selected with the ``REPRO_PRESET`` environment
+variable (``default`` | ``small`` | ``tiny``); the shipped default is the
+full benchmark scale used by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness import Runner
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    return os.environ.get("REPRO_PRESET", "default")
+
+
+@pytest.fixture(scope="session")
+def runner(preset: str) -> Runner:
+    """One memoizing runner for the whole benchmark session.
+
+    Sharing the runner means the one-core baselines and the 16-core
+    default points are simulated once and reused by every figure.
+    """
+    return Runner(preset=preset)
+
+
+@pytest.fixture()
+def archive():
+    """Write an experiment's text rendering to benchmarks/output/."""
+
+    def _archive(result) -> None:
+        result.save(OUTPUT_DIR)
+        print()
+        print(result.to_text())
+
+    return _archive

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Cache-model enhancements: hardware prefetching and non-allocating stores.
+
+The paper's headline conclusion is that the cache-coherent model, once
+extended with a stream prefetcher and "Prepare For Store" (PFS)
+non-allocating writes, matches the streaming memory system.  This script
+demonstrates both mechanisms on FIR and MergeSort (Sections 5.4 / 5.5):
+
+1. prefetching at 2 cores / 3.2 GHz / 12.8 GB/s virtually eliminates
+   data stalls (Figure 7),
+2. PFS on the output stream removes the superfluous write-allocate
+   refills, restoring off-chip-traffic parity with streaming (Figure 8).
+"""
+
+from repro import run_workload
+
+
+def show(label, result):
+    f = result.breakdown.fractions()
+    print(f"  {label:14s} time={result.exec_time_ms:8.3f} ms  "
+          f"load-stall={f['load'] * 100:5.1f}%  "
+          f"read={result.traffic.read_bytes / 1e6:6.2f} MB  "
+          f"write={result.traffic.write_bytes / 1e6:6.2f} MB  "
+          f"energy={result.energy.total * 1e3:7.3f} mJ")
+
+
+def main() -> None:
+    kwargs = dict(cores=2, clock_ghz=3.2, bandwidth_gbps=12.8,
+                  preset="small")
+
+    print("== Hardware prefetching (Figure 7 conditions) ==")
+    for app in ("merge", "art"):
+        print(f"{app}:")
+        show("CC", run_workload(app, "cc", **kwargs))
+        show("CC + prefetch", run_workload(app, "cc", prefetch=True, **kwargs))
+        show("STR", run_workload(app, "str", **kwargs))
+
+    print("\n== Prepare For Store (Figure 8 conditions, 16 cores) ==")
+    for app in ("fir", "merge", "mpeg2"):
+        print(f"{app}:")
+        show("CC", run_workload(app, "cc", cores=16, preset="small"))
+        show("CC + PFS", run_workload(app, "cc", cores=16, preset="small",
+                                      overrides={"pfs": True}))
+        show("STR", run_workload(app, "str", cores=16, preset="small"))
+
+    print("\nWith prefetching hiding latency and PFS eliminating refills,")
+    print("the cache-based system matches streaming — the paper's central")
+    print("argument against building pure streaming memory systems.")
+
+
+if __name__ == "__main__":
+    main()

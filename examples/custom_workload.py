@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Writing your own workload against the simulator's public API.
+
+The eleven paper applications are all built from the same small
+vocabulary: threads are generators yielding operations
+(:mod:`repro.core.ops`), synchronized with barriers/task queues, over
+arrays laid out by an :class:`~repro.workloads.base.Arena`.  This example
+builds a simple histogram kernel from scratch in both memory models and
+runs it — the pattern to follow for studying your own kernels.
+"""
+
+from repro import MachineConfig, run_program
+from repro.core.ops import (
+    barrier_wait,
+    compute,
+    dma_get,
+    dma_wait,
+    load,
+    local_load,
+    store,
+)
+from repro.core.sync import Barrier
+from repro.workloads.base import Arena, Env, Program, partition
+
+N_ITEMS = 1 << 16          # 256 KB of 32-bit samples
+BINS = 256
+CYCLES_PER_ITEM = 6        # hash + increment on the 3-way VLIW
+
+
+def build_histogram(model: str, num_cores: int) -> Program:
+    """Per-core private histograms, merged after a barrier."""
+    arena = Arena()
+    samples = arena.alloc(N_ITEMS * 4, "samples")
+    histograms = arena.alloc(num_cores * BINS * 4, "histograms")
+    merged = arena.alloc(BINS * 4, "merged")
+    barrier = Barrier(num_cores, "hist.merge")
+
+    def cached_thread(env: Env):
+        start, count = partition(N_ITEMS, num_cores, env.core_id)
+        my_hist = histograms + env.core_id * BINS * 4
+        for offset in range(start * 4, (start + count) * 4, 32):
+            yield load(samples + offset, 32)
+            # Bin updates hit the (cache-resident) private histogram.
+            yield compute(8 * CYCLES_PER_ITEM, l1_accesses=8)
+        yield store(my_hist, BINS * 4)
+        yield barrier_wait(barrier)
+        # Core 0 merges all the private histograms.
+        if env.core_id == 0:
+            for core in range(num_cores):
+                yield load(histograms + core * BINS * 4, BINS * 4)
+                yield compute(BINS)
+            yield store(merged, BINS * 4)
+
+    def streaming_thread(env: Env):
+        start, count = partition(N_ITEMS, num_cores, env.core_id)
+        block = 2048  # bytes per DMA block
+        buf = env.local_store.alloc(2 * block, "samples")
+        hist_buf = env.local_store.alloc(BINS * 4, "histogram")
+        offsets = list(range(start * 4, (start + count) * 4, block))
+        if offsets:
+            yield dma_get(0, samples + offsets[0], block)
+        for i, offset in enumerate(offsets):
+            if i + 1 < len(offsets):
+                yield dma_get((i + 1) & 1, samples + offsets[i + 1], block)
+            yield dma_wait(i & 1)
+            yield local_load(buf + (i & 1) * block, block)
+            yield compute((block // 4) * CYCLES_PER_ITEM,
+                          l1_accesses=block // 4)
+        yield local_load(hist_buf, BINS * 4)
+        yield store(histograms + env.core_id * BINS * 4, BINS * 4)
+        yield barrier_wait(barrier)
+        if env.core_id == 0:
+            for core in range(num_cores):
+                yield load(histograms + core * BINS * 4, BINS * 4)
+                yield compute(BINS)
+            yield store(merged, BINS * 4)
+
+    thread = cached_thread if model == "cc" else streaming_thread
+    return Program("histogram", [thread] * num_cores, arena)
+
+
+def main() -> None:
+    print(f"histogram over {N_ITEMS} samples, {BINS} bins\n")
+    for cores in (1, 4, 16):
+        row = []
+        for model in ("cc", "str"):
+            config = MachineConfig(num_cores=cores).with_model(model)
+            result = run_program(config, build_histogram(model, cores))
+            row.append(f"{model}: {result.exec_time_ms:7.3f} ms "
+                       f"({result.traffic.total_bytes / 1e6:.2f} MB off-chip)")
+        print(f"{cores:2d} cores   " + "   ".join(row))
+    print("\nBoth models read every sample exactly once; the streaming")
+    print("version hides the fetch latency behind the binning compute.")
+
+
+if __name__ == "__main__":
+    main()

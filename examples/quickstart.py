@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the two memory models on one application.
+
+Runs the FIR filter — the paper's canonical bandwidth-sensitive kernel —
+on a 16-core CMP under both the coherent-cache (CC) and streaming (STR)
+memory models, and prints execution time, its breakdown, off-chip
+traffic, and energy.
+
+Usage::
+
+    python examples/quickstart.py [workload] [cores]
+
+Defaults to ``fir`` on 16 cores.  Any registered workload name works;
+run ``python -c "import repro; print(repro.workload_names())"`` to list
+them.
+"""
+
+import sys
+
+from repro import run_workload, workload_names
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "fir"
+    cores = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    if workload not in workload_names():
+        raise SystemExit(
+            f"unknown workload {workload!r}; choose from {workload_names()}"
+        )
+
+    print(f"== {workload} on {cores} cores @ 800 MHz ==\n")
+    header = (f"{'model':6s} {'time (ms)':>10s} {'useful':>7s} {'sync':>6s} "
+              f"{'load':>6s} {'store':>6s} {'off-chip MB':>12s} "
+              f"{'energy (mJ)':>12s}")
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for model in ("cc", "str"):
+        r = run_workload(workload, model=model, cores=cores, preset="small")
+        results[model] = r
+        f = r.breakdown.fractions()
+        print(f"{model:6s} {r.exec_time_ms:10.3f} {f['useful']:7.2f} "
+              f"{f['sync']:6.2f} {f['load']:6.2f} {f['store']:6.2f} "
+              f"{r.traffic.total_bytes / 1e6:12.2f} "
+              f"{r.energy.total * 1e3:12.3f}")
+
+    cc, st = results["cc"], results["str"]
+    ratio = cc.exec_time_fs / st.exec_time_fs
+    print(f"\ncache-coherent / streaming execution time: {ratio:.2f}x")
+    traffic_ratio = cc.traffic.total_bytes / max(1, st.traffic.total_bytes)
+    print(f"cache-coherent / streaming off-chip traffic: {traffic_ratio:.2f}x")
+    print("\nSee examples/memory_model_comparison.py for the full",
+          "core-count sweep (the paper's Figure 2).")
+
+
+if __name__ == "__main__":
+    main()

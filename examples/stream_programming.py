@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Stream programming as a software discipline (Figures 9 and 10).
+
+Section 6 of the paper argues the real win is *stream programming*, not
+streaming hardware: restructuring cache-based code with blocking,
+loop fusion, and locality-aware scheduling delivers most of the benefit
+on plain coherent caches.  This script contrasts the original and
+stream-optimized cache-based variants of MPEG-2 and 179.art.
+"""
+
+from repro import run_workload
+
+
+def compare(app: str, overrides_orig: dict, cores: int) -> None:
+    opt = run_workload(app, "cc", cores=cores, preset="small")
+    orig = run_workload(app, "cc", cores=cores, preset="small",
+                        overrides=overrides_orig)
+    speedup = orig.exec_time_fs / opt.exec_time_fs
+    print(f"{app} @ {cores} cores:")
+    print(f"  original   : {orig.exec_time_ms:8.3f} ms, "
+          f"traffic {orig.traffic.total_bytes / 1e6:6.2f} MB, "
+          f"L1 write-backs {orig.stats['l1.writebacks']}")
+    print(f"  optimized  : {opt.exec_time_ms:8.3f} ms, "
+          f"traffic {opt.traffic.total_bytes / 1e6:6.2f} MB, "
+          f"L1 write-backs {opt.stats['l1.writebacks']}")
+    print(f"  -> stream programming speedup: {speedup:.1f}x")
+
+
+def main() -> None:
+    print("== MPEG-2: kernel-per-frame vs fused macroblock pipeline ==")
+    print("(the paper reports ~40% at 16 cores and 60% fewer write-backs)")
+    compare("mpeg2",
+            {"structure": "original", "icache_miss_per_mb": 0}, cores=16)
+
+    print()
+    print("== 179.art: SPEC array-of-structures vs restructured SoA ==")
+    print("(the paper reports a 7x speedup even at small core counts)")
+    compare("art", {"layout": "original"}, cores=2)
+
+    print()
+    print("The optimizations help the *cache-based* system — evidence that")
+    print("'streaming at the programming model level is very important,")
+    print("even with the cache-based model' (Section 5, conclusions).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs on environments without
+the `wheel` package (PEP 660 editable wheels need it; `pip install -e .
+--no-use-pep517 --no-build-isolation` does not).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

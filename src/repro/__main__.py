@@ -1,0 +1,200 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fir --model str --cores 16 --clock 3.2
+    python -m repro figure2 --preset small
+    python -m repro table3
+    python -m repro all --preset small
+
+``figureN`` / ``table3`` commands print the experiment's paper-style
+rows; ``run`` executes one workload/configuration and prints the full
+measurement record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import run_workload, workload_names
+from repro.harness import Runner, experiments, scorecard
+
+EXPERIMENTS = {
+    "scorecard": scorecard,
+    "table3": experiments.table3,
+    "figure2": experiments.figure2,
+    "figure3": experiments.figure3,
+    "figure4": experiments.figure4,
+    "figure5": experiments.figure5,
+    "figure6": experiments.figure6,
+    "figure7": experiments.figure7,
+    "figure8": experiments.figure8,
+    "figure9": experiments.figure9,
+    "figure10": experiments.figure10,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Comparing Memory Systems for Chip "
+                    "Multiprocessors' (ISCA 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available workloads")
+
+    run_p = sub.add_parser("run", help="run one workload/configuration")
+    run_p.add_argument("workload", choices=workload_names())
+    run_p.add_argument("--model", choices=["cc", "str", "icc"], default="cc",
+                       help="cache-coherent, streaming, or incoherent caches")
+    run_p.add_argument("--cores", type=int, default=8)
+    run_p.add_argument("--clock", type=float, default=0.8,
+                       help="core clock in GHz")
+    run_p.add_argument("--bandwidth", type=float, default=6.4,
+                       help="memory channel bandwidth in GB/s")
+    run_p.add_argument("--prefetch", action="store_true",
+                       help="enable the hardware stream prefetcher")
+    run_p.add_argument("--preset", default="default",
+                       choices=["default", "small", "tiny"])
+    run_p.add_argument("--profile", action="store_true",
+                       help="sample activity over time and print sparklines")
+    run_p.add_argument("--trace", metavar="PATH",
+                       help="record the demand-access trace as JSON lines")
+
+    for name, fn in EXPERIMENTS.items():
+        exp_p = sub.add_parser(name, help=(fn.__doc__ or "").splitlines()[0])
+        exp_p.add_argument("--preset", default="default",
+                           choices=["default", "small", "tiny"])
+        exp_p.add_argument("--chart", action="store_true",
+                           help="also render the figure as stacked bars")
+
+    cmp_p = sub.add_parser(
+        "compare", help="run one workload under every applicable memory model")
+    cmp_p.add_argument("workload", choices=workload_names())
+    cmp_p.add_argument("--cores", type=int, default=16)
+    cmp_p.add_argument("--clock", type=float, default=0.8)
+    cmp_p.add_argument("--preset", default="default",
+                       choices=["default", "small", "tiny"])
+
+    all_p = sub.add_parser("all", help="regenerate every table and figure")
+    all_p.add_argument("--preset", default="default",
+                       choices=["default", "small", "tiny"])
+    return parser
+
+
+def _print_run(result) -> None:
+    print(result.summary())
+    fractions = result.breakdown.fractions()
+    print("  breakdown : " + "  ".join(
+        f"{k}={v * 100:.1f}%" for k, v in fractions.items()))
+    print(f"  traffic   : read {result.traffic.read_bytes / 1e6:.2f} MB, "
+          f"write {result.traffic.write_bytes / 1e6:.2f} MB "
+          f"({result.offchip_mb_per_s:.0f} MB/s)")
+    print(f"  L1 miss   : {result.l1_miss_rate * 100:.2f}%  "
+          f"L2 miss: {result.l2_miss_rate * 100:.1f}%  "
+          f"instr/L1-miss: {result.instructions_per_l1_miss:.0f}")
+    energy = result.energy.as_dict()
+    print("  energy    : " + "  ".join(
+        f"{k}={v * 1e3:.2f}mJ" for k, v in energy.items() if v))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in workload_names():
+            print(name)
+        return 0
+    if args.command == "run":
+        if args.profile or args.trace:
+            from repro import MachineConfig, get_workload
+            from repro.core.system import CmpSystem
+            from repro.sim.sampling import IntervalSampler
+
+            config = MachineConfig(num_cores=args.cores) \
+                .with_model(args.model).with_clock(args.clock) \
+                .with_bandwidth(args.bandwidth)
+            if args.prefetch:
+                config = config.with_prefetch()
+            program = get_workload(args.workload).build(
+                config.model, config, preset=args.preset)
+            system = CmpSystem(config, program)
+            sampler = None
+            if args.profile:
+                sampler = IntervalSampler(
+                    system, interval_fs=max(1, config.core.cycle_fs * 20000))
+                sampler.start()
+            recorder = None
+            if args.trace:
+                from repro.trace import TraceRecorder
+
+                recorder = TraceRecorder(system)
+            result = system.run()
+            _print_run(result)
+            if sampler is not None:
+                print()
+                print(sampler.render())
+            if recorder is not None:
+                recorder.save(args.trace)
+                print(f"\ntrace: {len(recorder)} accesses -> {args.trace}")
+        else:
+            result = run_workload(
+                args.workload, model=args.model, cores=args.cores,
+                clock_ghz=args.clock, bandwidth_gbps=args.bandwidth,
+                prefetch=args.prefetch, preset=args.preset,
+            )
+            _print_run(result)
+        return 0
+    if args.command == "compare":
+        from repro.harness.reports import format_table
+        from repro.workloads import get_workload
+
+        models = ["cc", "str"]
+        if get_workload(args.workload).incoherent_safe:
+            models.append("icc")
+        rows = []
+        for model in models:
+            r = run_workload(args.workload, model=model, cores=args.cores,
+                             clock_ghz=args.clock, preset=args.preset)
+            f = r.breakdown.fractions()
+            rows.append([
+                model, f"{r.exec_time_ms:.4f}",
+                f"{f['useful']:.2f}", f"{f['sync']:.2f}", f"{f['load']:.2f}",
+                f"{r.traffic.total_bytes / 1e6:.2f}",
+                f"{r.energy.total * 1e3:.3f}",
+            ])
+        print(f"{args.workload} on {args.cores} cores @ {args.clock} GHz "
+              f"({args.preset} preset)")
+        print(format_table(
+            ["model", "time_ms", "useful", "sync", "load",
+             "traffic_MB", "energy_mJ"], rows))
+        return 0
+
+    runner = Runner(preset=args.preset)
+    names = list(EXPERIMENTS) if args.command == "all" else [args.command]
+    for name in names:
+        result = EXPERIMENTS[name](runner)
+        print(result.to_text())
+        if getattr(args, "chart", False):
+            from repro.harness.reports import render_stacked_bars
+
+            stack = [c for c in ("useful", "sync", "load", "store")
+                     if c in result.headers]
+            if not stack:
+                stack = [c for c in ("read", "write") if c in result.headers]
+            if stack:
+                first = result.rows[0] if result.rows else {}
+                labels = [h for h in result.headers
+                          if h not in stack
+                          and not isinstance(first.get(h), float)]
+                print()
+                print(render_stacked_bars(result.rows, labels, stack))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

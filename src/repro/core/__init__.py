@@ -1,0 +1,58 @@
+"""Cores, synchronization, and system assembly.
+
+* :mod:`repro.core.ops` — the operation vocabulary workload threads yield,
+* :mod:`repro.core.sync` — barriers, locks, and task queues,
+* :mod:`repro.core.processor` — the in-order core timing model,
+* :mod:`repro.core.system` — assembles a :class:`~repro.config.MachineConfig`
+  and a workload program into a runnable CMP and produces a
+  :class:`~repro.results.RunResult`.
+"""
+
+from repro.core.ops import (
+    barrier_wait,
+    bulk_prefetch,
+    cache_flush,
+    cache_invalidate,
+    compute,
+    dma_get,
+    dma_put,
+    dma_wait,
+    icache_miss,
+    load,
+    local_load,
+    local_store,
+    lock_acquire,
+    lock_release,
+    pfs_store,
+    store,
+    task_pop,
+)
+from repro.core.processor import Processor
+from repro.core.sync import Barrier, Lock, TaskQueue
+from repro.core.system import CmpSystem, run_program
+
+__all__ = [
+    "barrier_wait",
+    "bulk_prefetch",
+    "cache_flush",
+    "cache_invalidate",
+    "compute",
+    "dma_get",
+    "dma_put",
+    "dma_wait",
+    "icache_miss",
+    "load",
+    "local_load",
+    "local_store",
+    "lock_acquire",
+    "lock_release",
+    "pfs_store",
+    "store",
+    "task_pop",
+    "Processor",
+    "Barrier",
+    "Lock",
+    "TaskQueue",
+    "CmpSystem",
+    "run_program",
+]

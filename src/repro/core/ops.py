@@ -1,0 +1,208 @@
+"""The operation vocabulary of workload threads.
+
+A workload thread is a Python generator that yields operations; the
+processor model interprets them and charges time.  Operations are plain
+tuples headed by a one-of-a-kind opcode string — the hot loop of the
+simulator dispatches on ``op[0]``, and tuples keep that dispatch cheap.
+Workloads construct them through the factory functions below, which
+document and validate the fields.
+
+Memory operations are *aggregated*: one ``load`` may cover several cache
+lines and represent many word accesses.  The processor walks the covered
+lines one by one through the hierarchy, so timing is still per-line; the
+``accesses`` field only feeds access counting (miss-rate denominators and
+energy).  The default of one access per 4-byte word models word-granular
+code.
+
+The ``task_pop`` operation returns a value *into* the generator — use
+``item = yield task_pop(queue)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+OP_COMPUTE = "c"
+OP_LOAD = "ld"
+OP_STORE = "st"
+OP_PFS = "pfs"
+OP_LOCAL_LOAD = "lsld"
+OP_LOCAL_STORE = "lsst"
+OP_DMA_GET = "dget"
+OP_DMA_PUT = "dput"
+OP_DMA_WAIT = "dwait"
+OP_BARRIER = "bar"
+OP_LOCK = "lock"
+OP_UNLOCK = "unlock"
+OP_TASK_POP = "pop"
+OP_ICACHE_MISS = "im"
+OP_BULK_PREFETCH = "bpf"
+OP_CACHE_FLUSH = "cfl"
+OP_CACHE_INVALIDATE = "cinv"
+
+WORD_BYTES = 4
+
+
+def compute(cycles: int, instructions: int | None = None,
+            l1_accesses: int = 0) -> tuple:
+    """Execute for ``cycles`` core cycles.
+
+    ``instructions`` defaults to two per cycle (a 3-slot VLIW sustaining
+    an IPC of ~2 on compute kernels).  ``l1_accesses`` counts additional
+    L1 hits for stack/temporary traffic that the workload does not model
+    address-by-address; they feed access counters and cache energy only.
+    """
+    if cycles < 0:
+        raise ValueError(f"negative compute cycles {cycles}")
+    if instructions is None:
+        instructions = 2 * cycles
+    if instructions < 0 or l1_accesses < 0:
+        raise ValueError("instruction and access counts must be non-negative")
+    return (OP_COMPUTE, cycles, instructions, l1_accesses)
+
+
+def _mem(opcode: str, addr: int, nbytes: int, accesses: int | None) -> tuple:
+    if addr < 0:
+        raise ValueError(f"negative address {addr:#x}")
+    if nbytes <= 0:
+        raise ValueError(f"memory operation must cover at least one byte, got {nbytes}")
+    if accesses is None:
+        accesses = max(1, nbytes // WORD_BYTES)
+    if accesses <= 0:
+        raise ValueError(f"access count must be positive, got {accesses}")
+    return (opcode, addr, nbytes, accesses)
+
+
+def load(addr: int, nbytes: int = 32, accesses: int | None = None) -> tuple:
+    """Load ``nbytes`` starting at ``addr`` (may span multiple lines)."""
+    return _mem(OP_LOAD, addr, nbytes, accesses)
+
+
+def store(addr: int, nbytes: int = 32, accesses: int | None = None) -> tuple:
+    """Store ``nbytes`` starting at ``addr``."""
+    return _mem(OP_STORE, addr, nbytes, accesses)
+
+
+def pfs_store(addr: int, nbytes: int = 32, accesses: int | None = None) -> tuple:
+    """Store preceded by "Prepare For Store" (Section 5.5).
+
+    Allocates and validates the cache lines without refilling them from
+    memory — the software mechanism for non-allocating stores on
+    output-only data streams.
+    """
+    return _mem(OP_PFS, addr, nbytes, accesses)
+
+
+def local_load(offset: int, nbytes: int, accesses: int | None = None) -> tuple:
+    """Read the core's local store (streaming model; single-cycle, no tags)."""
+    return _mem(OP_LOCAL_LOAD, offset, nbytes, accesses)
+
+
+def local_store(offset: int, nbytes: int, accesses: int | None = None) -> tuple:
+    """Write the core's local store."""
+    return _mem(OP_LOCAL_STORE, offset, nbytes, accesses)
+
+
+def _dma(opcode: str, tag: int, addr: int, nbytes: int,
+         stride: int, block: int | None) -> tuple:
+    if tag < 0:
+        raise ValueError(f"negative DMA tag {tag}")
+    if addr < 0 or nbytes <= 0:
+        raise ValueError(f"bad DMA range addr={addr:#x} nbytes={nbytes}")
+    return (opcode, tag, addr, nbytes, stride, block)
+
+
+def dma_get(tag: int, addr: int, nbytes: int,
+            stride: int = 0, block: int | None = None) -> tuple:
+    """Queue a DMA transfer from memory into the local store.
+
+    ``stride``/``block`` select a strided gather; the default is one
+    contiguous block.  Completion is observed with :func:`dma_wait` on the
+    same ``tag``.
+    """
+    return _dma(OP_DMA_GET, tag, addr, nbytes, stride, block)
+
+
+def dma_put(tag: int, addr: int, nbytes: int,
+            stride: int = 0, block: int | None = None) -> tuple:
+    """Queue a DMA transfer from the local store to memory."""
+    return _dma(OP_DMA_PUT, tag, addr, nbytes, stride, block)
+
+
+def dma_wait(tag: int) -> tuple:
+    """Stall until every DMA command issued under ``tag`` has completed."""
+    if tag < 0:
+        raise ValueError(f"negative DMA tag {tag}")
+    return (OP_DMA_WAIT, tag)
+
+
+def barrier_wait(barrier: Any) -> tuple:
+    """Block until every participating thread reaches ``barrier``."""
+    return (OP_BARRIER, barrier)
+
+
+def lock_acquire(lock: Any) -> tuple:
+    """Acquire ``lock``, blocking while another thread holds it."""
+    return (OP_LOCK, lock)
+
+
+def lock_release(lock: Any) -> tuple:
+    """Release ``lock`` (must be held by this thread)."""
+    return (OP_UNLOCK, lock)
+
+
+def task_pop(queue: Any) -> tuple:
+    """Pop a task; the popped item (or None) is sent back into the generator."""
+    return (OP_TASK_POP, queue)
+
+
+def bulk_prefetch(addr: int, nbytes: int) -> tuple:
+    """Software bulk prefetch into the cache (a hybrid-model primitive).
+
+    Section 7 of the paper suggests that "bulk transfer primitives for
+    cache-based systems could enable more efficient macroscopic
+    prefetching": this operation asks the cache hierarchy to start
+    fetching ``[addr, addr+nbytes)`` asynchronously, like a DMA get whose
+    destination is the L1 cache.  Later demand loads to those lines wait
+    only for the in-flight fill, not a full miss.
+    """
+    if addr < 0 or nbytes <= 0:
+        raise ValueError(f"bad prefetch range addr={addr:#x} nbytes={nbytes}")
+    return (OP_BULK_PREFETCH, addr, nbytes)
+
+
+def cache_flush(addr: int, nbytes: int) -> tuple:
+    """Write back (and clean) any dirty cached lines in the range.
+
+    The software communication primitive of the incoherent cache model
+    (Table 1 / Section 7): a producer flushes its output before the
+    synchronization point that publishes it.
+    """
+    if addr < 0 or nbytes <= 0:
+        raise ValueError(f"bad flush range addr={addr:#x} nbytes={nbytes}")
+    return (OP_CACHE_FLUSH, addr, nbytes)
+
+
+def cache_invalidate(addr: int, nbytes: int) -> tuple:
+    """Drop any cached lines in the range (they must be clean).
+
+    The consumer-side primitive of the incoherent cache model: invalidate
+    a shared region after the synchronization point so subsequent loads
+    observe the producer's flushed data.
+    """
+    if addr < 0 or nbytes <= 0:
+        raise ValueError(f"bad invalidate range addr={addr:#x} nbytes={nbytes}")
+    return (OP_CACHE_INVALIDATE, addr, nbytes)
+
+
+def icache_miss(count: int = 1) -> tuple:
+    """Charge ``count`` instruction-cache misses (fetch stalls).
+
+    The paper's execution-time breakdown folds fetch stalls into "useful
+    execution", so the processor attributes them there while counting
+    them for energy and for the Figure 9 discussion (stream-optimized
+    MPEG-2 notably increases I-cache misses).
+    """
+    if count <= 0:
+        raise ValueError(f"icache miss count must be positive, got {count}")
+    return (OP_ICACHE_MISS, count)

@@ -1,0 +1,281 @@
+"""In-order core timing model.
+
+Each processor interprets one workload thread (a generator of operations,
+see :mod:`repro.core.ops`) against the memory hierarchy, charging every
+femtosecond of its execution to one of the four components of the paper's
+execution-time breakdown (Figure 2):
+
+* **useful** — computation, instruction issue for loads/stores, fetch and
+  other non-memory pipeline stalls (including I-cache misses),
+* **sync** — locks, barriers, task-queue contention, waiting for DMA,
+* **load** — stalls for demand load misses (in-order cores block on loads),
+* **store** — stalls when the store buffer is full.
+
+Cores run ahead of the global clock in quanta of ``quantum_cycles`` and
+then yield to the event queue, which keeps the occupancy-based contention
+model honest without per-cycle lockstep.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.core import ops as op_mod
+from repro.core.sync import (
+    BARRIER_OVERHEAD_CYCLES,
+    LOCK_OVERHEAD_CYCLES,
+    TASK_POP_OVERHEAD_CYCLES,
+)
+from repro.sim.kernel import SimulationError
+from repro.units import ns_to_fs
+
+if TYPE_CHECKING:
+    from repro.core.system import CmpSystem
+
+#: Fetch stall per instruction-cache miss: an L2 round trip.
+ICACHE_MISS_PENALTY_NS = 12.0
+
+
+class Processor:
+    """One in-order core executing one workload thread."""
+
+    def __init__(self, core_id: int, system: "CmpSystem",
+                 thread: Iterator[tuple]) -> None:
+        self.core_id = core_id
+        self.system = system
+        self.sim = system.sim
+        self.hierarchy = system.hierarchy
+        config = system.config
+        self.cycle_fs = config.core.cycle_fs
+        self._quantum_fs = config.quantum_cycles * self.cycle_fs
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._line_bytes = config.line_bytes
+        self._imiss_fs = ns_to_fs(ICACHE_MISS_PENALTY_NS)
+        self._dma_setup_cycles = config.stream.dma_setup_instructions
+        self._gen = thread
+        self._send_value: Any = None
+        self._dma_tags: dict[int, int] = {}
+        self._local_store = getattr(system.hierarchy, "local_stores", None)
+        self._dma_engine = None
+        engines = getattr(system.hierarchy, "dma_engines", None)
+        if engines is not None:
+            self._dma_engine = engines[core_id]
+        # Clock and accounting (all femtoseconds)
+        self.now = 0
+        self.useful_fs = 0
+        self.sync_fs = 0
+        self.load_stall_fs = 0
+        self.store_stall_fs = 0
+        self.instructions = 0
+        self.word_accesses = 0
+        self.local_accesses = 0
+        self.icache_misses = 0
+        self.done = False
+        self.finish_fs = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the core's first execution event at time zero."""
+        self.sim.at(0, self._step)
+
+    def wake(self, release_fs: int) -> None:
+        """Called by a sync primitive to resume a suspended core."""
+        if release_fs < self.now:
+            release_fs = self.now
+        self.sync_fs += release_fs - self.now
+        self.now = release_fs
+        self.sim.at(release_fs, self._step)
+
+    def _step(self) -> None:
+        self._run()
+
+    # ------------------------------------------------------------------
+    # Interpreter
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        """Interpret operations until suspension, quantum expiry, or the end."""
+        gen = self._gen
+        cycle_fs = self.cycle_fs
+        hierarchy = self.hierarchy
+        core_id = self.core_id
+        limit = self.now + self._quantum_fs
+        while True:
+            try:
+                op = gen.send(self._send_value)
+            except StopIteration:
+                self._finish()
+                return
+            self._send_value = None
+            kind = op[0]
+
+            if kind == "c":
+                _, cycles, instructions, l1_accesses = op
+                self.now += cycles * cycle_fs
+                self.useful_fs += cycles * cycle_fs
+                self.instructions += instructions
+                self.word_accesses += l1_accesses
+
+            elif kind == "ld":
+                _, addr, nbytes, accesses = op
+                issue = accesses * cycle_fs
+                self.now += issue
+                self.useful_fs += issue
+                self.instructions += accesses
+                self.word_accesses += accesses
+                first = addr >> self._line_shift
+                last = (addr + nbytes - 1) >> self._line_shift
+                now = self.now
+                for line in range(first, last + 1):
+                    done = hierarchy.load_line(core_id, line, now)
+                    if done > now:
+                        self.load_stall_fs += done - now
+                        now = done
+                self.now = now
+
+            elif kind == "st" or kind == "pfs":
+                _, addr, nbytes, accesses = op
+                issue = accesses * cycle_fs
+                self.now += issue
+                self.useful_fs += issue
+                self.instructions += accesses
+                self.word_accesses += accesses
+                no_allocate = kind == "pfs"
+                first = addr >> self._line_shift
+                last = (addr + nbytes - 1) >> self._line_shift
+                now = self.now
+                for line in range(first, last + 1):
+                    stall = hierarchy.store_line(core_id, line, now,
+                                                 no_allocate=no_allocate)
+                    if stall:
+                        self.store_stall_fs += stall
+                        now += stall
+                self.now = now
+
+            elif kind == "lsld" or kind == "lsst":
+                _, offset, nbytes, accesses = op
+                store = self._local_store[core_id]
+                store.check_range(offset, nbytes)
+                if kind == "lsld":
+                    store.record_read(nbytes, accesses)
+                else:
+                    store.record_write(nbytes, accesses)
+                issue = accesses * cycle_fs
+                self.now += issue
+                self.useful_fs += issue
+                self.instructions += accesses
+                self.local_accesses += accesses
+
+            elif kind == "dget" or kind == "dput":
+                _, tag, addr, nbytes, stride, block = op
+                engine = self._dma_engine
+                if engine is None:
+                    raise SimulationError(
+                        f"core {core_id}: DMA issued on the cache-coherent model"
+                    )
+                setup = self._dma_setup_cycles * cycle_fs
+                self.now += setup
+                self.useful_fs += setup
+                self.instructions += self._dma_setup_cycles
+                if kind == "dget":
+                    done = engine.get(self.now, addr, nbytes, stride, block)
+                else:
+                    done = engine.put(self.now, addr, nbytes, stride, block)
+                previous = self._dma_tags.get(tag, 0)
+                if done > previous:
+                    self._dma_tags[tag] = done
+
+            elif kind == "dwait":
+                done = self._dma_tags.get(op[1], self.now)
+                if done > self.now:
+                    self.sync_fs += done - self.now
+                    self.now = done
+
+            elif kind == "bar":
+                overhead = BARRIER_OVERHEAD_CYCLES * cycle_fs
+                self.now += overhead
+                self.useful_fs += overhead
+                self.instructions += BARRIER_OVERHEAD_CYCLES
+                release = op[1].arrive(self, self.now)
+                if release is None:
+                    return  # suspended; the barrier will wake us
+                self.sync_fs += release - self.now
+                self.now = release
+
+            elif kind == "lock":
+                overhead = LOCK_OVERHEAD_CYCLES * cycle_fs
+                self.now += overhead
+                self.useful_fs += overhead
+                self.instructions += LOCK_OVERHEAD_CYCLES
+                granted = op[1].acquire(self, self.now)
+                if granted is None:
+                    return  # suspended; the lock will wake us
+
+            elif kind == "unlock":
+                op[1].release(self, self.now)
+
+            elif kind == "pop":
+                overhead_fs = TASK_POP_OVERHEAD_CYCLES * cycle_fs
+                self.instructions += TASK_POP_OVERHEAD_CYCLES
+                item, done = op[1].pop(self.now, overhead_fs)
+                wait = done - self.now
+                self.useful_fs += overhead_fs
+                self.sync_fs += wait - overhead_fs
+                self.now = done
+                self._send_value = item
+
+            elif kind == "bpf":
+                _, addr, nbytes = op
+                setup = self._dma_setup_cycles * cycle_fs
+                self.now += setup
+                self.useful_fs += setup
+                self.instructions += self._dma_setup_cycles
+                first = addr >> self._line_shift
+                last = (addr + nbytes - 1) >> self._line_shift
+                hierarchy.bulk_prefetch(core_id, first, last, self.now)
+
+            elif kind == "cfl" or kind == "cinv":
+                _, addr, nbytes = op
+                first = addr >> self._line_shift
+                last = (addr + nbytes - 1) >> self._line_shift
+                n_lines = last - first + 1
+                # Software loop: one instruction per line walked.
+                cost = n_lines * cycle_fs
+                self.now += cost
+                self.useful_fs += cost
+                self.instructions += n_lines
+                if kind == "cfl":
+                    hierarchy.flush_range(core_id, first, last, self.now)
+                else:
+                    hierarchy.invalidate_range(core_id, first, last, self.now)
+
+            elif kind == "im":
+                count = op[1]
+                self.icache_misses += count
+                penalty = count * self._imiss_fs
+                self.now += penalty
+                self.useful_fs += penalty
+
+            else:
+                raise SimulationError(f"core {core_id}: unknown op {op!r}")
+
+            if self.now >= limit:
+                self.sim.at(self.now, self._step)
+                return
+
+    def _finish(self) -> None:
+        self.done = True
+        self.finish_fs = self.now
+        self.system.core_finished(self)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def total_fs(self) -> int:
+        """Sum of all four execution-time components."""
+        return self.useful_fs + self.sync_fs + self.load_stall_fs + self.store_stall_fs

@@ -1,0 +1,20 @@
+"""Energy model for the 90 nm CMP (Section 4.1, Figure 4).
+
+The paper combines layout-derived core energy, CACTI 4.1 SRAM energies,
+scaled interconnect measurements, and DRAMsim-derived DRAM energy, all at
+90 nm / 1.0 V, including leakage and clock gating.  We reproduce the
+*structure* of that model analytically:
+
+* :mod:`repro.energy.cacti` — a CACTI-flavoured analytical SRAM model
+  giving per-access energy and leakage power as a function of capacity,
+  associativity, and line size (tagged caches pay tag read + compare;
+  the streaming local store does not),
+* :mod:`repro.energy.model` — per-event energy accounting over the
+  counters a finished simulation exposes, yielding the Figure 4
+  categories (core, I-cache, D-cache, local memory, network, L2, DRAM).
+"""
+
+from repro.energy.cacti import SramEnergy, sram_energy
+from repro.energy.model import EnergyModel, EnergyParams
+
+__all__ = ["SramEnergy", "sram_energy", "EnergyModel", "EnergyParams"]

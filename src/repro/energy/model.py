@@ -1,0 +1,141 @@
+"""Full-system energy accounting (Figure 4).
+
+The model walks the counters of a finished simulation and charges:
+
+* **core** — per-instruction dynamic energy (from the instruction mix of
+  a Tensilica LX-class 3-way VLIW at 90 nm) plus active-cycle overhead
+  and leakage; stalled cycles are clock-gated and pay leakage only,
+* **icache** — one 16 KB I-cache read per issue group, plus misses,
+* **dcache** — L1 D-cache (or the streaming model's 8 KB cache) accesses,
+  snoop tag lookups, and refills,
+* **local_store** — local store reads/writes (no tag energy),
+* **network** — per-byte energy on the cluster buses and the crossbar,
+  scaled from the on-chip interconnect measurements of Ho et al. [19],
+* **l2** — shared L2 accesses and leakage,
+* **dram** — per-byte transfer energy, per-access activate energy, and
+  background power, following the DRAMsim-derived model of [42].
+
+Energy follows performance and traffic: a model that finishes earlier
+pays less leakage/background energy, and a model that moves fewer bytes
+pays less network + DRAM energy — the two effects behind the paper's
+energy conclusions (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineConfig, MemoryModel
+from repro.energy.cacti import sram_energy
+from repro.results import EnergyBreakdown
+from repro.units import fs_to_seconds
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Tunable per-event energies (90 nm, 1.0 V defaults)."""
+
+    core_instruction_pj: float = 24.0
+    core_active_cycle_pj: float = 12.0
+    core_leakage_mw: float = 6.0
+    bus_pj_per_byte: float = 4.0
+    xbar_pj_per_byte: float = 7.0
+    dram_pj_per_byte: float = 280.0
+    dram_access_pj: float = 1200.0
+    dram_background_mw: float = 180.0
+
+
+class EnergyModel:
+    """Computes an :class:`~repro.results.EnergyBreakdown` for a run."""
+
+    def __init__(self, config: MachineConfig,
+                 params: EnergyParams | None = None) -> None:
+        self.config = config
+        self.params = params or EnergyParams()
+        self._icache = sram_energy(
+            config.icache.capacity_bytes, config.icache.associativity
+        )
+        l1_config = (
+            config.stream_l1 if config.model is MemoryModel.STREAMING else config.l1
+        )
+        self._dcache = sram_energy(l1_config.capacity_bytes, l1_config.associativity)
+        self._local_store = sram_energy(
+            config.stream.local_store_bytes, associativity=1, tagged=False
+        )
+        self._l2 = sram_energy(config.l2.capacity_bytes, config.l2.associativity)
+
+    def compute(self, system) -> EnergyBreakdown:
+        """Charge every counter of a finished :class:`CmpSystem`."""
+        config = self.config
+        params = self.params
+        hierarchy = system.hierarchy
+        uncore = hierarchy.uncore
+        seconds = fs_to_seconds(system.exec_time_fs)
+        num_cores = config.num_cores
+
+        instructions = sum(p.instructions for p in system.processors)
+        useful_s = fs_to_seconds(sum(p.useful_fs for p in system.processors))
+
+        core_j = (
+            instructions * params.core_instruction_pj * 1e-12
+            + useful_s * config.core.clock_ghz * 1e9 * params.core_active_cycle_pj * 1e-12
+            + num_cores * params.core_leakage_mw * 1e-3 * seconds
+        )
+
+        fetches = instructions / config.core.issue_width
+        icache_misses = sum(p.icache_misses for p in system.processors)
+        icache_j = (
+            fetches * self._icache.read_j
+            + icache_misses * self._l2.read_j
+            + num_cores * self._icache.leakage_w * seconds
+        )
+
+        word_accesses = sum(p.word_accesses for p in system.processors)
+        refills = hierarchy.l1_misses + hierarchy.prefetches_issued
+        dcache_j = (
+            word_accesses * self._dcache.read_j
+            + hierarchy.snoop_lookups * self._dcache.tag_j
+            + refills * (config.line_bytes / 4) * self._dcache.write_j
+            + num_cores * self._dcache.leakage_w * seconds
+        )
+
+        local_j = 0.0
+        if config.model is MemoryModel.STREAMING:
+            local_accesses = sum(p.local_accesses for p in system.processors)
+            dma_words = hierarchy.dma_bytes / 4
+            local_j = (
+                (local_accesses + dma_words) * self._local_store.read_j
+                + num_cores * self._local_store.leakage_w * seconds
+            )
+
+        bus_bytes = sum(b.bytes_moved for b in uncore.buses)
+        xbar_bytes = uncore.xbar.bytes_moved
+        network_j = (
+            bus_bytes * params.bus_pj_per_byte * 1e-12
+            + xbar_bytes * params.xbar_pj_per_byte * 1e-12
+        )
+
+        l2_accesses = uncore.l2_reads + uncore.l2_writes
+        l2_j = (
+            l2_accesses * self._l2.read_j
+            # Directory mode: sharer-set lookups, co-located with the L2.
+            + hierarchy.directory_lookups * self._l2.tag_j
+            + self._l2.leakage_w * seconds
+        )
+
+        dram = uncore.dram
+        dram_j = (
+            dram.total_bytes * params.dram_pj_per_byte * 1e-12
+            + dram.total_accesses * params.dram_access_pj * 1e-12
+            + params.dram_background_mw * 1e-3 * seconds
+        )
+
+        return EnergyBreakdown(
+            core=core_j,
+            icache=icache_j,
+            dcache=dcache_j,
+            local_store=local_j,
+            network=network_j,
+            l2=l2_j,
+            dram=dram_j,
+        )

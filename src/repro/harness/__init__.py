@@ -1,0 +1,42 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+:mod:`repro.harness.runner` runs (and memoizes) individual simulations;
+:mod:`repro.harness.experiments` composes them into the paper's
+evaluation artifacts; :mod:`repro.harness.reports` renders the results
+as text tables shaped like the paper's rows/series.
+"""
+
+from repro.harness.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table3,
+)
+from repro.harness.reports import format_table
+from repro.harness.scorecard import CLAIMS, Claim, scorecard
+from repro.harness.runner import ExperimentResult, Runner
+
+__all__ = [
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "table3",
+    "scorecard",
+    "CLAIMS",
+    "Claim",
+    "format_table",
+    "ExperimentResult",
+    "Runner",
+]

@@ -1,0 +1,295 @@
+"""The paper's evaluation, one function per table/figure.
+
+Each function returns an :class:`~repro.harness.runner.ExperimentResult`
+whose rows correspond to the bars/points of the original figure.
+Execution times are normalized to the sequential run on the cache-based
+system, exactly as the paper's figures are (Section 5.1); traffic and
+energy are normalized to a single caching core (Figures 3, 4, 8).
+
+All functions accept a ``runner`` so callers (benchmarks, tests) control
+the workload scale via the runner's preset and share the memo cache.
+"""
+
+from __future__ import annotations
+
+from repro.harness.runner import ExperimentResult, Runner
+from repro.results import RunResult
+
+#: The full suite in Table 3 order.
+ALL_WORKLOADS = [
+    "mpeg2", "h264", "raytracer", "jpeg_enc", "jpeg_dec", "depth",
+    "fem", "fir", "art", "bitonic", "merge",
+]
+
+#: The applications Figures 3 and 4 single out.
+TRAFFIC_WORKLOADS = ["fem", "mpeg2", "fir", "bitonic"]
+
+CORE_SWEEP = (2, 4, 8, 16)
+CLOCK_SWEEP = (0.8, 1.6, 3.2, 6.4)
+BANDWIDTH_SWEEP = (1.6, 3.2, 6.4, 12.8)
+
+
+def _breakdown_fields(result: RunResult, reference_fs: float) -> dict:
+    """Stacked-bar components normalized to a reference execution time."""
+    b = result.breakdown
+    scale = reference_fs or 1.0
+    return {
+        "useful": b.useful_fs / scale,
+        "sync": b.sync_fs / scale,
+        "load": b.load_fs / scale,
+        "store": b.store_fs / scale,
+        "normalized_time": result.exec_time_fs / scale,
+    }
+
+
+def table3(runner: Runner | None = None) -> ExperimentResult:
+    """Table 3: memory characteristics on the cache-based model, 16 cores."""
+    runner = runner or Runner()
+    out = ExperimentResult(
+        "table3",
+        "Table 3: memory characteristics (CC, 16 cores @ 800 MHz)",
+        ["app", "l1_miss_rate_pct", "l2_miss_rate_pct",
+         "instr_per_l1_miss", "cycles_per_l2_miss", "offchip_mb_s"],
+    )
+    for name in ALL_WORKLOADS:
+        r = runner.run(name, model="cc", cores=16)
+        out.add(
+            app=name,
+            l1_miss_rate_pct=100 * r.l1_miss_rate,
+            l2_miss_rate_pct=100 * r.l2_miss_rate,
+            instr_per_l1_miss=r.instructions_per_l1_miss,
+            cycles_per_l2_miss=r.cycles_per_l2_miss,
+            offchip_mb_s=r.offchip_mb_per_s,
+        )
+    return out
+
+
+def figure2(runner: Runner | None = None,
+            workloads: list[str] | None = None,
+            core_counts: tuple[int, ...] = CORE_SWEEP) -> ExperimentResult:
+    """Figure 2: normalized execution time vs core count, CC vs STR."""
+    runner = runner or Runner()
+    out = ExperimentResult(
+        "figure2",
+        "Figure 2: execution time vs cores (normalized to 1 caching core)",
+        ["app", "model", "cores", "normalized_time",
+         "useful", "sync", "load", "store"],
+    )
+    for name in workloads or ALL_WORKLOADS:
+        reference = runner.baseline(name).exec_time_fs
+        for cores in core_counts:
+            for model in ("cc", "str"):
+                r = runner.run(name, model=model, cores=cores)
+                out.add(app=name, model=model, cores=cores,
+                        **_breakdown_fields(r, reference))
+    return out
+
+
+def figure3(runner: Runner | None = None,
+            workloads: list[str] | None = None) -> ExperimentResult:
+    """Figure 3: off-chip traffic at 16 CPUs, normalized to 1 caching core."""
+    runner = runner or Runner()
+    out = ExperimentResult(
+        "figure3",
+        "Figure 3: off-chip traffic (16 CPUs, normalized to 1 caching core)",
+        ["app", "model", "read", "write", "total"],
+    )
+    for name in workloads or TRAFFIC_WORKLOADS:
+        reference = runner.baseline(name).traffic.total_bytes or 1
+        for model in ("cc", "str"):
+            r = runner.run(name, model=model, cores=16)
+            out.add(
+                app=name, model=model,
+                read=r.traffic.read_bytes / reference,
+                write=r.traffic.write_bytes / reference,
+                total=r.traffic.total_bytes / reference,
+            )
+    return out
+
+
+def figure4(runner: Runner | None = None,
+            workloads: list[str] | None = None) -> ExperimentResult:
+    """Figure 4: energy at 16 CPUs, normalized to 1 caching core."""
+    runner = runner or Runner()
+    out = ExperimentResult(
+        "figure4",
+        "Figure 4: energy consumption (16 CPUs, normalized to 1 caching core)",
+        ["app", "model", "core", "icache", "dcache", "local_store",
+         "network", "l2", "dram", "total"],
+    )
+    for name in workloads or TRAFFIC_WORKLOADS:
+        reference = runner.baseline(name).energy.total or 1.0
+        for model in ("cc", "str"):
+            r = runner.run(name, model=model, cores=16)
+            fields = {k: v / reference for k, v in r.energy.as_dict().items()}
+            fields["total"] = r.energy.total / reference
+            out.add(app=name, model=model, **fields)
+    return out
+
+
+def figure5(runner: Runner | None = None,
+            workloads: list[str] | None = None,
+            clocks: tuple[float, ...] = CLOCK_SWEEP) -> ExperimentResult:
+    """Figure 5: execution time as core clock scales (16 cores)."""
+    runner = runner or Runner()
+    out = ExperimentResult(
+        "figure5",
+        "Figure 5: execution time vs core clock (16 cores, normalized to "
+        "1 caching core @ 800 MHz)",
+        ["app", "model", "clock_ghz", "normalized_time",
+         "useful", "sync", "load", "store"],
+    )
+    for name in workloads or ["mpeg2", "fir", "bitonic"]:
+        reference = runner.baseline(name).exec_time_fs
+        for ghz in clocks:
+            for model in ("cc", "str"):
+                r = runner.run(name, model=model, cores=16, clock_ghz=ghz)
+                out.add(app=name, model=model, clock_ghz=ghz,
+                        **_breakdown_fields(r, reference))
+    return out
+
+
+def figure6(runner: Runner | None = None,
+            bandwidths: tuple[float, ...] = BANDWIDTH_SWEEP) -> ExperimentResult:
+    """Figure 6: FIR vs off-chip bandwidth (16 cores @ 3.2 GHz).
+
+    Includes the paper's extra point: the cache-based system with
+    hardware prefetching at 12.8 GB/s, which cuts load stalls to a few
+    percent of execution time (Section 5.4).
+    """
+    runner = runner or Runner()
+    out = ExperimentResult(
+        "figure6",
+        "Figure 6: FIR vs off-chip bandwidth (16 cores @ 3.2 GHz)",
+        ["model", "bandwidth_gbps", "prefetch", "normalized_time",
+         "useful", "sync", "load", "store"],
+    )
+    reference = runner.baseline("fir").exec_time_fs
+    for bw in bandwidths:
+        for model in ("cc", "str"):
+            r = runner.run("fir", model=model, cores=16, clock_ghz=3.2,
+                           bandwidth_gbps=bw)
+            out.add(model=model, bandwidth_gbps=bw, prefetch=False,
+                    **_breakdown_fields(r, reference))
+    r = runner.run("fir", model="cc", cores=16, clock_ghz=3.2,
+                   bandwidth_gbps=bandwidths[-1], prefetch=True)
+    out.add(model="cc", bandwidth_gbps=bandwidths[-1], prefetch=True,
+            **_breakdown_fields(r, reference))
+    return out
+
+
+def figure7(runner: Runner | None = None,
+            workloads: list[str] | None = None) -> ExperimentResult:
+    """Figure 7: hardware prefetching (depth 4), 2 cores @ 3.2 GHz, 12.8 GB/s."""
+    runner = runner or Runner()
+    out = ExperimentResult(
+        "figure7",
+        "Figure 7: effect of hardware prefetching (2 cores @ 3.2 GHz, "
+        "12.8 GB/s)",
+        ["app", "config", "normalized_time", "useful", "sync", "load", "store"],
+    )
+    kwargs = dict(cores=2, clock_ghz=3.2, bandwidth_gbps=12.8)
+    for name in workloads or ["merge", "art"]:
+        reference = runner.baseline(name).exec_time_fs
+        r = runner.run(name, model="cc", **kwargs)
+        out.add(app=name, config="CC", **_breakdown_fields(r, reference))
+        r = runner.run(name, model="cc", prefetch=True, prefetch_depth=4,
+                       **kwargs)
+        out.add(app=name, config="CC+P4", **_breakdown_fields(r, reference))
+        r = runner.run(name, model="str", **kwargs)
+        out.add(app=name, config="STR", **_breakdown_fields(r, reference))
+    return out
+
+
+def figure8(runner: Runner | None = None,
+            workloads: list[str] | None = None) -> ExperimentResult:
+    """Figure 8: "Prepare For Store" traffic + FIR energy (16 cores @ 800 MHz).
+
+    Traffic rows carry read/write normalized to one caching core; the FIR
+    rows also carry the normalized energy total (the paper's right-hand
+    graph).
+    """
+    runner = runner or Runner()
+    out = ExperimentResult(
+        "figure8",
+        "Figure 8: PFS off-chip traffic and FIR energy (16 cores @ 800 MHz)",
+        ["app", "config", "read", "write", "total", "energy"],
+    )
+    for name in workloads or ["fir", "merge", "mpeg2"]:
+        base = runner.baseline(name)
+        traffic_ref = base.traffic.total_bytes or 1
+        energy_ref = base.energy.total or 1.0
+        variants = [
+            ("CC", dict(model="cc")),
+            ("CC+PFS", dict(model="cc", overrides={"pfs": True})),
+            ("STR", dict(model="str")),
+        ]
+        for label, kw in variants:
+            r = runner.run(name, cores=16, **kw)
+            out.add(
+                app=name, config=label,
+                read=r.traffic.read_bytes / traffic_ref,
+                write=r.traffic.write_bytes / traffic_ref,
+                total=r.traffic.total_bytes / traffic_ref,
+                energy=r.energy.total / energy_ref,
+            )
+    return out
+
+
+def figure9(runner: Runner | None = None,
+            core_counts: tuple[int, ...] = CORE_SWEEP) -> ExperimentResult:
+    """Figure 9: stream-programming optimizations on cache-based MPEG-2.
+
+    Compares the original kernel-per-frame structure ("ORIG") against the
+    fused stream-programmed structure ("OPT") on the cache-based model:
+    off-chip traffic and execution time at 800 MHz.
+    """
+    runner = runner or Runner()
+    out = ExperimentResult(
+        "figure9",
+        "Figure 9: stream programming on cache-based MPEG-2 (800 MHz)",
+        ["variant", "cores", "normalized_time", "useful", "sync", "load",
+         "store", "read", "write", "l1_writebacks"],
+    )
+    base = runner.baseline("mpeg2")
+    reference_fs = base.exec_time_fs
+    traffic_ref = base.traffic.total_bytes or 1
+    variants = [
+        ("ORIG", {"structure": "original", "icache_miss_per_mb": 0}),
+        ("OPT", None),
+    ]
+    for label, overrides in variants:
+        for cores in core_counts:
+            r = runner.run("mpeg2", model="cc", cores=cores,
+                           overrides=overrides)
+            out.add(variant=label, cores=cores,
+                    read=r.traffic.read_bytes / traffic_ref,
+                    write=r.traffic.write_bytes / traffic_ref,
+                    l1_writebacks=r.stats["l1.writebacks"],
+                    **_breakdown_fields(r, reference_fs))
+    return out
+
+
+def figure10(runner: Runner | None = None,
+             core_counts: tuple[int, ...] = CORE_SWEEP) -> ExperimentResult:
+    """Figure 10: stream-programming optimizations on cache-based 179.art."""
+    runner = runner or Runner()
+    out = ExperimentResult(
+        "figure10",
+        "Figure 10: stream programming on cache-based 179.art (800 MHz)",
+        ["variant", "cores", "normalized_time", "useful", "sync", "load",
+         "store"],
+    )
+    base = runner.baseline("art")
+    reference_fs = base.exec_time_fs
+    variants = [
+        ("ORIG", {"layout": "original"}),
+        ("OPT", None),
+    ]
+    for label, overrides in variants:
+        for cores in core_counts:
+            r = runner.run("art", model="cc", cores=cores,
+                           overrides=overrides)
+            out.add(variant=label, cores=cores,
+                    **_breakdown_fields(r, reference_fs))
+    return out

@@ -1,0 +1,76 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(items):
+        return "  ".join(item.ljust(w) for item, w in zip(items, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def normalized(value: float, reference: float) -> float:
+    """value / reference with a guard for a zero reference."""
+    if reference == 0:
+        return 0.0
+    return value / reference
+
+
+#: Fill characters for up to six stacked components.
+_FILLS = "#=+-:."
+
+
+def render_stacked_bars(rows: list[dict], label_cols: list[str],
+                        value_cols: list[str], width: int = 60) -> str:
+    """Horizontal stacked-bar chart, one bar per row.
+
+    The paper's figures are stacked bars (useful / sync / load / store,
+    or read / write); this renders the same visual in a terminal.  Bars
+    share one scale: the longest total spans ``width`` characters.
+
+    >>> print(render_stacked_bars(
+    ...     [{"m": "cc", "a": 2.0, "b": 1.0}, {"m": "str", "a": 1.0, "b": 0.5}],
+    ...     ["m"], ["a", "b"], width=12))    # doctest: +NORMALIZE_WHITESPACE
+    legend: a=# b==
+    cc   |########====| 3.000
+    str  |####==      | 1.500
+    """
+    if not rows:
+        return "(no rows)"
+    if len(value_cols) > len(_FILLS):
+        raise ValueError(f"at most {len(_FILLS)} stacked components supported")
+    totals = [sum(float(r.get(c) or 0.0) for c in value_cols) for r in rows]
+    scale = max(totals) or 1.0
+    labels = [" ".join(str(r.get(c, "")) for c in label_cols) for r in rows]
+    label_width = max(len(lab) for lab in labels)
+    legend = "legend: " + " ".join(
+        f"{col}={fill}" for col, fill in zip(value_cols, _FILLS))
+    lines = [legend]
+    for row, label, total in zip(rows, labels, totals):
+        bar = ""
+        for col, fill in zip(value_cols, _FILLS):
+            segment = round(float(row.get(col) or 0.0) / scale * width)
+            bar += fill * segment
+        bar = bar[:width].ljust(width)
+        lines.append(f"{label.ljust(label_width)} |{bar}| {total:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""The paper's quantitative claims, machine-checked.
+
+Every number the paper states in prose ("streaming is 36% faster",
+"write-backs reduced 60%", "7x speedup", ...) is encoded here as a
+:class:`Claim` with an acceptance band, measured against the simulator,
+and rendered as a scorecard — the authoritative paper-vs-measured
+summary behind EXPERIMENTS.md.  ``python -m repro scorecard`` prints it;
+``benchmarks/test_scorecard.py`` asserts every claim stays in band.
+
+Bands are deliberately generous where the substrate substitution
+(a cycle-approximate event simulator instead of the authors' Tensilica
+RTL-derived one) makes exact magnitudes unreachable; the *sign* of every
+comparison must always hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.harness.runner import ExperimentResult, Runner
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative statement from the paper."""
+
+    id: str
+    section: str
+    statement: str
+    paper_value: float
+    #: Measured value, computed from (memoized) simulation runs.
+    measure: Callable[[Runner], float]
+    #: Inclusive acceptance band for the measured value.
+    low: float
+    high: float
+
+    def evaluate(self, runner: Runner) -> dict:
+        """Measure the claim; returns the scorecard row."""
+        measured = self.measure(runner)
+        return {
+            "claim": self.id,
+            "section": self.section,
+            "statement": self.statement,
+            "paper": self.paper_value,
+            "measured": measured,
+            "band": f"[{self.low:g}, {self.high:g}]",
+            "ok": self.low <= measured <= self.high,
+        }
+
+
+# ----------------------------------------------------------------------
+# Measurement helpers (every run is memoized by the shared Runner)
+# ----------------------------------------------------------------------
+
+def _gain(slow, fast) -> float:
+    """Fractional speedup of ``fast`` over ``slow``."""
+    return 1.0 - fast.exec_time_fs / slow.exec_time_fs
+
+
+def _fir_traffic_ratio(r: Runner) -> float:
+    cc = r.run("fir", model="cc", cores=16)
+    st = r.run("fir", model="str", cores=16)
+    return st.traffic.total_bytes / cc.traffic.total_bytes
+
+
+def _fir_streaming_gain(r: Runner) -> float:
+    cc = r.run("fir", model="cc", cores=16, clock_ghz=6.4)
+    st = r.run("fir", model="str", cores=16, clock_ghz=6.4)
+    return _gain(cc, st)
+
+
+def _bitonic_caching_gain(r: Runner) -> float:
+    cc = r.run("bitonic", model="cc", cores=16, clock_ghz=6.4)
+    st = r.run("bitonic", model="str", cores=16, clock_ghz=6.4)
+    return _gain(st, cc)
+
+
+def _bitonic_streaming_write_ratio(r: Runner) -> float:
+    # The effect needs the key array to exceed the 512 KB L2 (otherwise
+    # both models' writes coalesce on chip), so the array size is pinned
+    # regardless of the runner's preset.
+    big = {"n_keys": 1 << 18}
+    cc = r.run("bitonic", model="cc", cores=16, overrides=big)
+    st = r.run("bitonic", model="str", cores=16, overrides=big)
+    return st.traffic.write_bytes / cc.traffic.write_bytes
+
+
+def _mpeg2_streaming_gain(r: Runner) -> float:
+    cc = r.run("mpeg2", model="cc", cores=16, clock_ghz=6.4)
+    st = r.run("mpeg2", model="str", cores=16, clock_ghz=6.4)
+    return _gain(cc, st)
+
+
+def _merge_prefetch_stall_cut(r: Runner) -> float:
+    kwargs = dict(cores=2, clock_ghz=3.2, bandwidth_gbps=12.8)
+    base = r.run("merge", model="cc", **kwargs)
+    pf = r.run("merge", model="cc", prefetch=True, **kwargs)
+    return 1.0 - pf.breakdown.load_fs / base.breakdown.load_fs
+
+
+def _art_prefetch_stall_cut(r: Runner) -> float:
+    kwargs = dict(cores=2, clock_ghz=3.2, bandwidth_gbps=12.8)
+    base = r.run("art", model="cc", **kwargs)
+    pf = r.run("art", model="cc", prefetch=True, **kwargs)
+    return 1.0 - pf.breakdown.load_fs / base.breakdown.load_fs
+
+
+def _fir_pfs_parity(r: Runner) -> float:
+    pfs = r.run("fir", model="cc", cores=16, overrides={"pfs": True})
+    st = r.run("fir", model="str", cores=16)
+    return pfs.traffic.total_bytes / st.traffic.total_bytes
+
+
+def _mpeg2_pfs_refill_cut(r: Runner) -> float:
+    cc = r.run("mpeg2", model="cc", cores=16)
+    pfs = r.run("mpeg2", model="cc", cores=16, overrides={"pfs": True})
+    return 1.0 - pfs.traffic.read_bytes / cc.traffic.read_bytes
+
+
+def _mpeg2_writeback_cut(r: Runner) -> float:
+    orig = r.run("mpeg2", model="cc", cores=16,
+                 overrides={"structure": "original", "icache_miss_per_mb": 0})
+    opt = r.run("mpeg2", model="cc", cores=16)
+    return 1.0 - opt.stats["l1.writebacks"] / orig.stats["l1.writebacks"]
+
+
+def _mpeg2_restructure_gain(r: Runner) -> float:
+    orig = r.run("mpeg2", model="cc", cores=16,
+                 overrides={"structure": "original", "icache_miss_per_mb": 0})
+    opt = r.run("mpeg2", model="cc", cores=16)
+    return _gain(orig, opt)
+
+
+def _art_restructure_speedup(r: Runner) -> float:
+    orig = r.run("art", model="cc", cores=2,
+                 overrides={"layout": "original"})
+    opt = r.run("art", model="cc", cores=2)
+    return orig.exec_time_fs / opt.exec_time_fs
+
+
+def _jpeg_dec_energy_saving(r: Runner) -> float:
+    cc = r.run("jpeg_dec", model="cc", cores=16)
+    st = r.run("jpeg_dec", model="str", cores=16)
+    return 1.0 - st.energy.total / cc.energy.total
+
+
+def _fem_traffic_parity(r: Runner) -> float:
+    cc = r.run("fem", model="cc", cores=16)
+    st = r.run("fem", model="str", cores=16)
+    return st.traffic.total_bytes / cc.traffic.total_bytes
+
+
+def _compute_bound_model_gap(r: Runner) -> float:
+    """Worst-case CC-vs-STR gap across the compute-bound seven at 16 cores."""
+    worst = 0.0
+    for name in ("mpeg2", "h264", "depth", "raytracer", "fem",
+                 "jpeg_dec"):
+        cc = r.run(name, model="cc", cores=16)
+        st = r.run(name, model="str", cores=16)
+        gap = abs(cc.exec_time_fs - st.exec_time_fs) / cc.exec_time_fs
+        worst = max(worst, gap)
+    return worst
+
+
+def _fir_prefetch_residual_stall(r: Runner) -> float:
+    pf = r.run("fir", model="cc", cores=16, clock_ghz=3.2,
+               bandwidth_gbps=12.8, prefetch=True)
+    return pf.breakdown.load_fs / pf.breakdown.total_fs
+
+
+CLAIMS: list[Claim] = [
+    Claim("fir-traffic-ratio", "§2.3/Fig 3",
+          "streaming FIR moves 2/3 of the cache model's bytes (no output refills)",
+          0.667, _fir_traffic_ratio, 0.60, 0.72),
+    Claim("fir-streaming-gain-6.4GHz", "§5.3/Fig 5",
+          "streaming FIR is 36% faster at the highest computational throughput",
+          0.36, _fir_streaming_gain, 0.20, 0.50),
+    Claim("bitonic-caching-gain-6.4GHz", "§5.3/Fig 5",
+          "the cache-based BitonicSort is 19% faster at 6.4 GHz",
+          0.19, _bitonic_caching_gain, 0.05, 0.40),
+    Claim("bitonic-streaming-writes", "§5.1/Fig 3",
+          "streaming BitonicSort writes back unmodified data (more write traffic)",
+          2.0, _bitonic_streaming_write_ratio, 1.5, 4.0),
+    Claim("mpeg2-streaming-gain-6.4GHz", "§5.3",
+          "the streaming MPEG-2 encoder is 9% faster at 6.4 GHz",
+          0.09, _mpeg2_streaming_gain, 0.02, 0.35),
+    Claim("merge-prefetch-stall-cut", "§5.4/Fig 7",
+          "prefetching virtually eliminates MergeSort's data stalls",
+          1.0, _merge_prefetch_stall_cut, 0.9, 1.0),
+    Claim("art-prefetch-stall-cut", "§5.4/Fig 7",
+          "prefetching virtually eliminates 179.art's data stalls",
+          1.0, _art_prefetch_stall_cut, 0.9, 1.0),
+    Claim("fir-prefetch-residual", "§5.4/Fig 6",
+          "with prefetching at 12.8 GB/s, load stalls drop to 3% of execution",
+          0.03, _fir_prefetch_residual_stall, 0.0, 0.06),
+    Claim("fir-pfs-parity", "§5.5/Fig 8",
+          "PFS brings cache-model traffic into parity with streaming",
+          1.0, _fir_pfs_parity, 0.95, 1.05),
+    Claim("mpeg2-pfs-refill-cut", "§5.5/Fig 8",
+          "PFS cuts MPEG-2's write-miss refill traffic (56% of write-miss reads)",
+          0.36, _mpeg2_pfs_refill_cut, 0.2, 0.6),
+    Claim("mpeg2-writeback-cut", "§6/Fig 9",
+          "loop fusion reduces MPEG-2's L1 write-backs by 60%",
+          0.60, _mpeg2_writeback_cut, 0.5, 0.95),
+    Claim("mpeg2-restructure-gain", "§6/Fig 9",
+          "stream programming improves MPEG-2 by 40% at 16 cores",
+          0.40, _mpeg2_restructure_gain, 0.3, 0.6),
+    Claim("art-restructure-speedup", "§6/Fig 10",
+          "stream programming speeds 179.art up ~7x even at 2 cores",
+          7.0, _art_restructure_speedup, 4.0, 10.0),
+    Claim("jpeg-dec-energy-saving", "§5.2/Fig 4",
+          "streaming saves 10-25% energy on refill-dominated applications",
+          0.175, _jpeg_dec_energy_saving, 0.05, 0.30),
+    Claim("fem-traffic-parity", "§5.1/Fig 3",
+          "FEM's off-chip traffic is nearly identical under both models",
+          1.0, _fem_traffic_parity, 0.8, 1.25),
+    Claim("compute-bound-parity", "§5.1/Fig 2",
+          "the compute-bound applications perform almost identically",
+          0.0, _compute_bound_model_gap, 0.0, 0.12),
+]
+
+
+def scorecard(runner: Runner | None = None) -> ExperimentResult:
+    """Evaluate every claim; returns the scorecard as an experiment."""
+    runner = runner or Runner()
+    out = ExperimentResult(
+        "scorecard",
+        "Paper-claim scorecard (prose numbers vs this reproduction)",
+        ["claim", "section", "paper", "measured", "band", "ok"],
+    )
+    for claim in CLAIMS:
+        out.add(**claim.evaluate(runner))
+    return out

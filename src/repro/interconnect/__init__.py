@@ -1,0 +1,11 @@
+"""Hierarchical on-chip interconnect (Figure 1).
+
+Cores are grouped in clusters of four around a wide bidirectional bus
+(the *local network*); a global crossbar connects the clusters to the
+second-level cache banks.  Both are modelled as occupancy resources with
+width-quantized service times and fixed pipeline latencies (Table 2).
+"""
+
+from repro.interconnect.fabric import ClusterBus, Crossbar, CrossbarPort
+
+__all__ = ["ClusterBus", "Crossbar", "CrossbarPort"]

@@ -1,0 +1,100 @@
+"""Bus and crossbar models.
+
+Transfers occupy a link for ``ceil(bytes / width)`` link cycles and
+complete after an additional fixed pipeline latency.  There is buffering
+at all interfaces (Table 2), which the occupancy model captures by letting
+requests queue at each link independently.
+"""
+
+from __future__ import annotations
+
+from repro.config import InterconnectConfig
+from repro.sim.resources import OccupancyResource
+from repro.units import ns_to_fs
+
+
+class _Link(OccupancyResource):
+    """A link with width-quantized service time."""
+
+    def __init__(self, name: str, width_bytes: int, cycle_ns: float,
+                 latency_ns: float) -> None:
+        super().__init__(name, latency_fs=ns_to_fs(latency_ns))
+        self.width_bytes = width_bytes
+        self.cycle_fs = ns_to_fs(cycle_ns)
+        self.bytes_moved = 0
+
+    def transfer(self, now_fs: int, num_bytes: int) -> int:
+        """Move ``num_bytes`` over the link; returns the completion time."""
+        if num_bytes < 0:
+            raise ValueError(f"{self.name}: negative transfer {num_bytes}")
+        self.bytes_moved += num_bytes
+        cycles = max(1, -(-num_bytes // self.width_bytes))
+        _, done = self.acquire(now_fs, cycles * self.cycle_fs)
+        return done
+
+    def control(self, now_fs: int) -> int:
+        """A control-only message (request, invalidate): one link cycle."""
+        _, done = self.acquire(now_fs, self.cycle_fs)
+        return done
+
+
+class ClusterBus:
+    """The wide bidirectional intra-cluster bus (32 bytes, 2-cycle latency).
+
+    The bus is bidirectional (Table 2), so requests flowing out of the
+    cluster and responses flowing back are carried on separate directions
+    (``req`` / ``resp``) that contend independently.  Modelling them as a
+    single resource would falsely serialize a core's next *request* behind
+    the in-flight *response* of its previous buffered store.
+    """
+
+    def __init__(self, cluster_id: int, config: InterconnectConfig) -> None:
+        self.cluster_id = cluster_id
+        self.req = _Link(
+            f"bus.{cluster_id}.req",
+            width_bytes=config.bus_width_bytes,
+            cycle_ns=config.bus_cycle_ns,
+            latency_ns=config.bus_latency_ns,
+        )
+        self.resp = _Link(
+            f"bus.{cluster_id}.resp",
+            width_bytes=config.bus_width_bytes,
+            cycle_ns=config.bus_cycle_ns,
+            latency_ns=config.bus_latency_ns,
+        )
+
+    @property
+    def bytes_moved(self) -> int:
+        """Bytes carried on both directions (for energy accounting)."""
+        return self.req.bytes_moved + self.resp.bytes_moved
+
+
+class CrossbarPort(_Link):
+    """One direction of a cluster's (or L2 bank's) crossbar port (16 bytes)."""
+
+    def __init__(self, name: str, config: InterconnectConfig) -> None:
+        super().__init__(
+            name,
+            width_bytes=config.crossbar_width_bytes,
+            cycle_ns=config.crossbar_cycle_ns,
+            latency_ns=config.crossbar_latency_ns,
+        )
+
+
+class Crossbar:
+    """The global crossbar: an up and a down port per cluster.
+
+    ``up`` carries requests and write data toward the L2 / memory side;
+    ``down`` carries responses back to the cluster.
+    """
+
+    def __init__(self, num_clusters: int, config: InterconnectConfig) -> None:
+        if num_clusters <= 0:
+            raise ValueError(f"need at least one cluster, got {num_clusters}")
+        self.up = [CrossbarPort(f"xbar.up.{c}", config) for c in range(num_clusters)]
+        self.down = [CrossbarPort(f"xbar.down.{c}", config) for c in range(num_clusters)]
+
+    @property
+    def bytes_moved(self) -> int:
+        """Bytes carried on every port (for energy accounting)."""
+        return sum(p.bytes_moved for p in self.up) + sum(p.bytes_moved for p in self.down)

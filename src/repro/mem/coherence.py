@@ -1,0 +1,54 @@
+"""MESI coherence states and legal-transition checking.
+
+The cache-coherent model of the paper keeps L1 caches coherent with the
+MESI write-invalidate protocol; requests are broadcast first within a
+cluster and then to all clusters (Section 3.2).  The state machine here is
+shared by the hierarchy walker and by the protocol tests, which verify the
+global single-writer / multiple-reader invariant on random access
+interleavings.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MesiState(enum.IntEnum):
+    """The four MESI states.  ``INVALID`` lines are simply absent from a cache."""
+
+    MODIFIED = 3
+    EXCLUSIVE = 2
+    SHARED = 1
+    INVALID = 0
+
+    @property
+    def is_dirty(self) -> bool:
+        """True for MODIFIED (holds the only up-to-date copy)."""
+        return self is MesiState.MODIFIED
+
+    @property
+    def can_read(self) -> bool:
+        """Any valid state permits reads."""
+        return self is not MesiState.INVALID
+
+    @property
+    def can_write(self) -> bool:
+        """Only M and E permit a silent write (E upgrades to M without traffic)."""
+        return self in (MesiState.MODIFIED, MesiState.EXCLUSIVE)
+
+
+def check_global_invariant(states: list[MesiState]) -> None:
+    """Assert the MESI single-writer invariant over all caches' states for one line.
+
+    * at most one cache may hold the line M or E;
+    * if any cache holds M or E, every other cache must hold I.
+
+    Raises ``AssertionError`` with a descriptive message on violation.
+    Used by tests and (optionally) by the hierarchy's debug mode.
+    """
+    owners = [s for s in states if s in (MesiState.MODIFIED, MesiState.EXCLUSIVE)]
+    sharers = [s for s in states if s is MesiState.SHARED]
+    if len(owners) > 1:
+        raise AssertionError(f"multiple M/E holders: {states}")
+    if owners and sharers:
+        raise AssertionError(f"M/E holder coexists with S copies: {states}")

@@ -1,0 +1,141 @@
+"""Per-core DMA engine for the streaming model (Section 3.3).
+
+Each core has a DMA engine that supports sequential, strided, and indexed
+transfers, command queuing, and up to 16 outstanding 32-byte accesses.
+Transfers move data between the core's local store and the L2 / off-chip
+memory over the same interconnect the coherent model uses.
+
+Timing model: the engine serializes its own commands; within a command,
+granules pipeline through the interconnect and memory channel subject to
+the outstanding-access window (granule *i* cannot start before granule
+*i - 16* completed), which is how DMA hides memory latency (macroscopic
+prefetching) without needing infinite buffering.
+
+Bandwidth model: line-sized, line-aligned granules travel through the L2
+(which avoids refills on writes that overwrite entire lines — Section
+3.3); sub-line granules (strided scatter/gather) bypass the L2 and move
+only the bytes requested, the "minimum memory channel bandwidth" property
+of Section 2.3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.config import StreamConfig
+
+
+class DmaEngine:
+    """One core's DMA engine."""
+
+    def __init__(self, core_id: int, cluster_id: int, uncore,
+                 config: StreamConfig, line_bytes: int) -> None:
+        self.core_id = core_id
+        self.cluster_id = cluster_id
+        self.uncore = uncore
+        self.config = config
+        self.line_bytes = line_bytes
+        self._line_shift = line_bytes.bit_length() - 1
+        self._engine_free = 0
+        self._window: deque[int] = deque(maxlen=config.dma_max_outstanding)
+        self.commands = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def _blocks(self, addr: int, nbytes: int, stride: int,
+                block: int | None) -> Iterable[tuple[int, int]]:
+        """Yield (address, size) pairs for one command's blocks."""
+        if nbytes <= 0:
+            raise ValueError(f"DMA transfer size must be positive, got {nbytes}")
+        if stride == 0:
+            yield addr, nbytes
+            return
+        if block is None or block <= 0:
+            raise ValueError("strided DMA requires a positive block size")
+        if abs(stride) < block:
+            raise ValueError(f"stride {stride} smaller than block {block}")
+        offset = 0
+        position = addr
+        while offset < nbytes:
+            size = min(block, nbytes - offset)
+            yield position, size
+            position += stride
+            offset += size
+
+    def _throttle(self, start_fs: int) -> int:
+        """Apply the outstanding-access window to a granule start time."""
+        window = self._window
+        if len(window) == window.maxlen:
+            start_fs = max(start_fs, window[0])
+        return start_fs
+
+    def get(self, now_fs: int, addr: int, nbytes: int,
+            stride: int = 0, block: int | None = None) -> int:
+        """Fetch from memory into the local store; returns completion time."""
+        self.commands += 1
+        self.bytes_read += nbytes
+        start = max(now_fs, self._engine_free)
+        done = start
+        uncore = self.uncore
+        cl = self.cluster_id
+        for block_addr, block_size in self._blocks(addr, nbytes, stride, block):
+            for gran_addr, gran_size in self._granules(block_addr, block_size):
+                t = self._throttle(start)
+                line = gran_addr >> self._line_shift
+                t = uncore.xbar.up[cl].control(t)
+                if gran_size == self.line_bytes and gran_addr % self.line_bytes == 0:
+                    t, _ = uncore.l2_read(line, t)
+                else:
+                    # Scatter/gather: the L2 still serves reuse; a miss
+                    # moves only the bytes needed from DRAM.
+                    t = uncore.l2_read_partial(line, gran_size, t)
+                t = uncore.xbar.down[cl].transfer(t, gran_size)
+                t = uncore.buses[cl].resp.transfer(t, gran_size)
+                self._window.append(t)
+                done = max(done, t)
+        self._engine_free = done
+        return done
+
+    def put(self, now_fs: int, addr: int, nbytes: int,
+            stride: int = 0, block: int | None = None) -> int:
+        """Write from the local store to memory; returns completion time.
+
+        Writes are posted: the returned time is when the engine has pushed
+        the last granule into the memory system (the data's journey to DRAM
+        continues via L2 write-back, exactly as the paper's Section 3.3
+        describes — "the L2 cache avoids refills on write misses when DMA
+        transfers overwrite entire lines").
+        """
+        self.commands += 1
+        self.bytes_written += nbytes
+        start = max(now_fs, self._engine_free)
+        done = start
+        uncore = self.uncore
+        cl = self.cluster_id
+        for block_addr, block_size in self._blocks(addr, nbytes, stride, block):
+            for gran_addr, gran_size in self._granules(block_addr, block_size):
+                t = self._throttle(start)
+                t = uncore.buses[cl].req.transfer(t, gran_size)
+                t = uncore.xbar.up[cl].transfer(t, gran_size)
+                line = gran_addr >> self._line_shift
+                if gran_size == self.line_bytes and gran_addr % self.line_bytes == 0:
+                    t = uncore.l2_write(line, t, refill=False)
+                else:
+                    t = uncore.l2_write_partial(line, gran_size, t)
+                self._window.append(t)
+                done = max(done, t)
+        self._engine_free = done
+        return done
+
+    def _granules(self, addr: int, nbytes: int) -> Iterable[tuple[int, int]]:
+        """Split a block into line-aligned granules of at most one line."""
+        line = self.line_bytes
+        position = addr
+        remaining = nbytes
+        while remaining > 0:
+            boundary = (position // line + 1) * line
+            size = min(remaining, boundary - position)
+            yield position, size
+            position += size
+            remaining -= size

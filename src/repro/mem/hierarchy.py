@@ -1,0 +1,623 @@
+"""The full memory hierarchies cores issue accesses against.
+
+:class:`Uncore` holds everything outside the cores — the per-cluster
+buses, the global crossbar, the banked shared L2, and the DRAM channel —
+and is shared verbatim by both memory models, which is the paper's central
+methodological point: the two models are compared under *identical*
+uncore assumptions.
+
+:class:`CacheCoherentHierarchy` adds per-core coherent L1 D-caches (MESI,
+cluster-first broadcast), store buffers, and optional hardware stream
+prefetchers.
+
+:class:`StreamingHierarchy` reuses the same machinery with the streaming
+model's small 8 KB cache as "L1" and adds per-core local stores and DMA
+engines.
+
+All walk methods are *per cache line*: callers (the processor model) pass
+line numbers, and receive absolute completion timestamps.  Timing uses
+occupancy resources, so contention between cores, prefetchers, DMA
+engines, and write-backs emerges naturally.
+"""
+
+from __future__ import annotations
+
+from repro.config import (CacheConfig, CoherenceKind, MachineConfig,
+                          WritePolicy)
+from repro.interconnect.fabric import ClusterBus, Crossbar
+from repro.mem.cache import SetAssocCache
+from repro.mem.coherence import MesiState
+from repro.mem.dma import DmaEngine
+from repro.mem.dram import DramChannel
+from repro.mem.local_store import LocalStore
+from repro.mem.prefetcher import StreamPrefetcher
+from repro.mem.store_buffer import StoreBuffer
+from repro.sim.resources import OccupancyResource
+from repro.units import ns_to_fs
+
+
+class Uncore:
+    """Buses, crossbar, shared L2, and the DRAM channel (Figure 1)."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        ic = config.interconnect
+        num_clusters = config.num_clusters
+        self.buses = [ClusterBus(c, ic) for c in range(num_clusters)]
+        self.xbar = Crossbar(num_clusters, ic)
+        self.l2 = SetAssocCache(config.l2, "l2")
+        self.l2_banks = [
+            OccupancyResource(f"l2.bank.{b}", latency_fs=ns_to_fs(config.l2_latency_ns))
+            for b in range(num_clusters)
+        ]
+        self._l2_service_fs = ns_to_fs(ic.crossbar_cycle_ns)
+        self.dram = DramChannel(config.dram)
+        self.line_bytes = config.line_bytes
+        # L2 statistics
+        self.l2_reads = 0
+        self.l2_read_hits = 0
+        self.l2_writes = 0
+        self.l2_write_hits = 0
+        self.l2_writebacks = 0
+        self.l2_refills_avoided = 0
+
+    def _bank(self, line: int) -> OccupancyResource:
+        return self.l2_banks[line % len(self.l2_banks)]
+
+    def _evict(self, victim, when_fs: int) -> None:
+        """Handle an L2 victim: dirty lines are written back to DRAM.
+
+        ``when_fs`` must be the time the *miss was sent* to memory (the
+        bank access time), not the fill-completion time: victim data sits
+        in a write-back buffer and drains opportunistically, so posting it
+        after the fill's full access latency would falsely serialize the
+        next demand read behind an entire DRAM round trip.
+        """
+        if victim is not None and victim.state is MesiState.MODIFIED:
+            self.l2_writebacks += 1
+            self.dram.write(when_fs, self.line_bytes,
+                            addr=victim.line * self.line_bytes)
+
+    def l2_read(self, line: int, now_fs: int) -> tuple[int, bool]:
+        """Read one line through the L2.  Returns (completion_fs, hit)."""
+        self.l2_reads += 1
+        entry = self.l2.touch(line)
+        _, sent = self._bank(line).acquire(now_fs, self._l2_service_fs)
+        if entry is not None:
+            self.l2_read_hits += 1
+            return sent, True
+        done = self.dram.read(sent, self.line_bytes,
+                              addr=line * self.line_bytes)
+        victim = self.l2.insert(line, MesiState.EXCLUSIVE)
+        self._evict(victim, sent)
+        return done, False
+
+    def l2_write(self, line: int, now_fs: int, refill: bool) -> int:
+        """Write one full or partial line into the L2.
+
+        ``refill=False`` is the full-line case (L1 dirty write-back or a
+        line-aligned DMA put): the L2 allocates and validates the line
+        without reading the stale data from memory.  ``refill=True`` is a
+        partial-line write, which must fetch the line first.
+        """
+        self.l2_writes += 1
+        entry = self.l2.touch(line)
+        _, sent = self._bank(line).acquire(now_fs, self._l2_service_fs)
+        if entry is not None:
+            self.l2_write_hits += 1
+            entry.state = MesiState.MODIFIED
+            return sent
+        done = sent
+        if refill:
+            done = self.dram.read(sent, self.line_bytes,
+                                  addr=line * self.line_bytes)
+        else:
+            self.l2_refills_avoided += 1
+        victim = self.l2.insert(line, MesiState.MODIFIED)
+        self._evict(victim, sent)
+        return done
+
+    def l2_read_partial(self, line: int, nbytes: int, now_fs: int) -> int:
+        """Sub-line read (strided/indexed DMA gather).
+
+        The L2 still captures long-term reuse (Section 3.3), but a miss
+        moves only the requested bytes from DRAM and does not allocate —
+        the "minimum memory channel bandwidth" property of scatter/gather
+        DMA (Section 2.3).
+        """
+        self.l2_reads += 1
+        entry = self.l2.touch(line)
+        _, sent = self._bank(line).acquire(now_fs, self._l2_service_fs)
+        if entry is not None:
+            self.l2_read_hits += 1
+            return sent
+        return self.dram.read(sent, nbytes, addr=line * self.line_bytes)
+
+    def l2_write_partial(self, line: int, nbytes: int, now_fs: int) -> int:
+        """Sub-line write (strided/indexed DMA scatter).
+
+        Hits merge into the cached line.  Misses allocate the line without
+        a refill: DMA scatter output is gathered in the L2 (strided puts
+        cover their lines across successive commands — e.g. adjacent
+        macroblocks writing the two halves of a reconstruction line), so
+        the data stays on chip for later reuse and reaches DRAM once, on
+        eviction, instead of as narrow writes.
+        """
+        self.l2_writes += 1
+        entry = self.l2.touch(line)
+        _, sent = self._bank(line).acquire(now_fs, self._l2_service_fs)
+        if entry is not None:
+            self.l2_write_hits += 1
+            entry.state = MesiState.MODIFIED
+            return sent
+        self.l2_refills_avoided += 1
+        victim = self.l2.insert(line, MesiState.MODIFIED)
+        self._evict(victim, sent)
+        return sent
+
+    def flush(self, now_fs: int) -> int:
+        """Write every dirty L2 line back to DRAM (end-of-run settling)."""
+        t = now_fs
+        for entry in self.l2.lines():
+            if entry.state is MesiState.MODIFIED:
+                entry.state = MesiState.EXCLUSIVE
+                self.l2_writebacks += 1
+                t = self.dram.write(t, self.line_bytes,
+                                    addr=entry.line * self.line_bytes)
+        return t
+
+
+class CacheCoherentHierarchy:
+    """Per-core coherent L1s over the shared uncore (the paper's CC model)."""
+
+    def __init__(self, config: MachineConfig,
+                 l1_config: CacheConfig | None = None) -> None:
+        self.config = config
+        self.uncore = Uncore(config)
+        l1_config = l1_config or config.l1
+        self.l1_config = l1_config
+        num_cores = config.num_cores
+        self.l1s = [SetAssocCache(l1_config, f"l1.{i}") for i in range(num_cores)]
+        self.store_buffers = [
+            StoreBuffer(config.core.store_buffer_entries) for _ in range(num_cores)
+        ]
+        if config.prefetch.enabled:
+            self.prefetchers: list[StreamPrefetcher | None] = [
+                StreamPrefetcher(config.prefetch) for _ in range(num_cores)
+            ]
+        else:
+            self.prefetchers = [None] * num_cores
+        # In-flight fill completion times per core: prefetches occupy
+        # MSHRs, and issue stops when the per-core MSHRs are exhausted.
+        self._mshr_limit = config.core.mshr_entries
+        self._inflight: list[list[int]] = [[] for _ in range(num_cores)]
+        cluster_size = config.interconnect.cluster_size
+        self.cluster_of = [i // cluster_size for i in range(num_cores)]
+        self._no_write_allocate = l1_config.write_policy is WritePolicy.NO_WRITE_ALLOCATE
+        # Directory mode: track the sharer set per line so remote lookups
+        # consult the directory instead of broadcasting snoops.
+        self._directory_mode = config.coherence is CoherenceKind.DIRECTORY
+        self._sharers: dict[int, set[int]] = {}
+        #: Optional callable (now_fs, core, kind, line, latency_fs) invoked
+        #: for every demand access; installed by repro.trace.TraceRecorder.
+        self.trace_hook = None
+        # Statistics (line-granularity operations)
+        self.load_ops = 0
+        self.store_ops = 0
+        self.load_misses = 0
+        self.store_misses = 0
+        self.upgrades = 0
+        self.invalidations_sent = 0
+        self.snoop_lookups = 0
+        self.directory_lookups = 0
+        self.cache_to_cache = 0
+        self.l1_writebacks = 0
+        self.prefetches_issued = 0
+        self.prefetch_mshr_drops = 0
+        self.bulk_prefetches = 0
+        self.flushes = 0
+        self.invalidates = 0
+        self.dirty_invalidates = 0
+        self.prefetch_useful = 0
+        self.prefetch_late_fs = 0
+        self.refills_avoided = 0
+
+    # ------------------------------------------------------------------
+    # Coherence helpers
+    # ------------------------------------------------------------------
+
+    def _candidates(self, line: int, requester: int):
+        """The peer caches a remote lookup must consult.
+
+        Broadcast mode snoops every peer (each charged a tag lookup, per
+        Section 3.2); directory mode consults the sharer set and snoops
+        only the actual holders.
+        """
+        if self._directory_mode:
+            self.directory_lookups += 1
+            holders = self._sharers.get(line)
+            if not holders:
+                return ()
+            # Sorted for deterministic supplier selection.
+            return tuple(c for c in sorted(holders) if c != requester)
+        return tuple(c for c in range(len(self.l1s)) if c != requester)
+
+    def _find_owner(self, line: int, requester: int) -> tuple[int, MesiState] | None:
+        """Return (core, state) of a peer holding ``line``, preferring M/E."""
+        best: tuple[int, MesiState] | None = None
+        for core in self._candidates(line, requester):
+            self.snoop_lookups += 1
+            entry = self.l1s[core].lookup(line)
+            if entry is None:
+                continue
+            if entry.state in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+                return core, entry.state
+            if best is None:
+                best = (core, entry.state)
+        return best
+
+    def _invalidate_peers(self, line: int, requester: int) -> bool:
+        """Invalidate every peer copy; returns True if any was remote."""
+        my_cluster = self.cluster_of[requester]
+        any_remote = False
+        for core in self._candidates(line, requester):
+            self.snoop_lookups += 1
+            victim = self.l1s[core].invalidate(line)
+            if victim is not None:
+                self.invalidations_sent += 1
+                self._directory_remove(line, core)
+                if self.cluster_of[core] != my_cluster:
+                    any_remote = True
+        return any_remote
+
+    def _directory_add(self, line: int, core: int) -> None:
+        if self._directory_mode:
+            self._sharers.setdefault(line, set()).add(core)
+
+    def _directory_remove(self, line: int, core: int) -> None:
+        if self._directory_mode:
+            holders = self._sharers.get(line)
+            if holders is not None:
+                holders.discard(core)
+                if not holders:
+                    del self._sharers[line]
+
+    # ------------------------------------------------------------------
+    # Fill path
+    # ------------------------------------------------------------------
+
+    def _install(self, core: int, line: int, state: MesiState, when_fs: int,
+                 ready_fs: int = 0, prefetched: bool = False) -> None:
+        """Install a line in a core's L1, handling the victim write-back.
+
+        ``when_fs`` is the *issue* time of the demand access that caused
+        the fill, not the fill-completion time: victim write-backs sit in
+        a write-back buffer and drain at low priority, so charging their
+        resource occupancy at (or before) the demand's own walk keeps
+        acquisitions in time order and never blocks a later demand
+        request behind a posted write.
+        """
+        victim = self.l1s[core].insert(line, state, ready_fs, prefetched)
+        self._directory_add(line, core)
+        if victim is not None:
+            self._directory_remove(victim.line, core)
+            if victim.state is MesiState.MODIFIED:
+                self.writeback(core, victim.line, when_fs)
+
+    def writeback(self, core: int, line: int, now_fs: int) -> int:
+        """Write a dirty L1 line back to the L2 (posted; returns done time)."""
+        self.l1_writebacks += 1
+        cluster = self.cluster_of[core]
+        uncore = self.uncore
+        t = uncore.buses[cluster].req.transfer(now_fs, uncore.line_bytes)
+        t = uncore.xbar.up[cluster].transfer(t, uncore.line_bytes)
+        return uncore.l2_write(line, t, refill=False)
+
+    def _fetch(self, core: int, line: int, now_fs: int, for_write: bool,
+               refill: bool = True) -> int:
+        """The miss walk: cluster bus, snoop, crossbar, L2, DRAM.
+
+        Returns the time the requested line is installed in the L1.
+        """
+        cluster = self.cluster_of[core]
+        uncore = self.uncore
+        bus = uncore.buses[cluster]
+        line_bytes = uncore.line_bytes
+        t = bus.req.control(now_fs)
+
+        owner = self._find_owner(line, core)
+        if for_write:
+            any_remote = self._invalidate_peers(line, core)
+            if any_remote:
+                t = uncore.xbar.up[cluster].control(t)
+
+        if owner is not None:
+            owner_core, owner_state = owner
+            owner_cluster = self.cluster_of[owner_core]
+            self.cache_to_cache += 1
+            if owner_cluster != cluster:
+                # Remote supply: request over the crossbar, data back over it.
+                t = uncore.xbar.up[cluster].control(t)
+                t = uncore.buses[owner_cluster].resp.transfer(t, line_bytes)
+                t = uncore.xbar.down[cluster].transfer(t, line_bytes)
+            t = bus.resp.transfer(t, line_bytes)
+            if for_write:
+                # Ownership (and any dirty data) moves to the requester;
+                # the owner was invalidated above.
+                self._install(core, line, MesiState.MODIFIED, now_fs)
+            else:
+                owner_entry = self.l1s[owner_core].lookup(line)
+                if owner_state is MesiState.MODIFIED:
+                    # Downgrade with write-back so the L2 holds a clean copy.
+                    self.uncore.l2_write(line, t, refill=False)
+                if owner_entry is not None:
+                    owner_entry.state = MesiState.SHARED
+                self._install(core, line, MesiState.SHARED, now_fs)
+            return t
+
+        # No on-chip L1 copy: go to the L2 (and DRAM beyond it).
+        if for_write and not refill:
+            # PFS / no-allocate: validate the line without reading old data.
+            self.refills_avoided += 1
+            self._install(core, line, MesiState.MODIFIED, now_fs)
+            return t
+        t = uncore.xbar.up[cluster].control(t)
+        t, _ = uncore.l2_read(line, t)
+        t = uncore.xbar.down[cluster].transfer(t, line_bytes)
+        t = bus.resp.transfer(t, line_bytes)
+        state = MesiState.MODIFIED if for_write else MesiState.EXCLUSIVE
+        self._install(core, line, state, now_fs)
+        return t
+
+    def _issue_prefetches(self, core: int, lines: list[int], now_fs: int) -> None:
+        """Fetch prefetch candidates and install them with a future ready time."""
+        l1 = self.l1s[core]
+        cluster = self.cluster_of[core]
+        uncore = self.uncore
+        line_bytes = uncore.line_bytes
+        inflight = self._inflight[core]
+        if inflight:
+            inflight[:] = [t for t in inflight if t > now_fs]
+        for pline in lines:
+            if len(inflight) >= self._mshr_limit - 1:
+                self.prefetch_mshr_drops += 1
+                break
+            if l1.lookup(pline) is not None:
+                continue
+            if self._find_owner(pline, core) is not None:
+                # Keep the prefetcher simple: skip lines another core owns.
+                continue
+            self.prefetches_issued += 1
+            t = uncore.buses[cluster].req.control(now_fs)
+            t = uncore.xbar.up[cluster].control(t)
+            t, _ = uncore.l2_read(pline, t)
+            t = uncore.xbar.down[cluster].transfer(t, line_bytes)
+            t = uncore.buses[cluster].resp.transfer(t, line_bytes)
+            self._install(core, pline, MesiState.EXCLUSIVE, now_fs,
+                          ready_fs=t, prefetched=True)
+            inflight.append(t)
+
+    def bulk_prefetch(self, core: int, first_line: int, last_line: int,
+                      now_fs: int) -> int:
+        """Software bulk prefetch: fetch a line range into the core's L1.
+
+        The hybrid-model primitive of Section 7 ("bulk transfer
+        primitives for cache-based systems could enable more efficient
+        macroscopic prefetching"): lines are fetched asynchronously, like
+        a DMA get whose destination is the cache.  Demand accesses before
+        a line lands wait only for the in-flight fill.  Returns the
+        completion time of the last fill (informational; the core does
+        not block on it).
+        """
+        l1 = self.l1s[core]
+        cluster = self.cluster_of[core]
+        uncore = self.uncore
+        line_bytes = uncore.line_bytes
+        done = now_fs
+        t = now_fs
+        for line in range(first_line, last_line + 1):
+            if l1.lookup(line) is not None:
+                continue
+            if self._find_owner(line, core) is not None:
+                # Like the hardware prefetcher: leave shared lines to the
+                # demand path's coherence actions.
+                continue
+            self.bulk_prefetches += 1
+            t = uncore.buses[cluster].req.control(t)
+            t = uncore.xbar.up[cluster].control(t)
+            fill, _ = uncore.l2_read(line, t)
+            fill = uncore.xbar.down[cluster].transfer(fill, line_bytes)
+            fill = uncore.buses[cluster].resp.transfer(fill, line_bytes)
+            self._install(core, line, MesiState.EXCLUSIVE, now_fs,
+                          ready_fs=fill, prefetched=False)
+            done = max(done, fill)
+        return done
+
+    # ------------------------------------------------------------------
+    # Core-facing operations (per line)
+    # ------------------------------------------------------------------
+
+    def load_line(self, core: int, line: int, now_fs: int) -> int:
+        """Load one line; returns the completion time (== now on an L1 hit)."""
+        self.load_ops += 1
+        entry = self.l1s[core].touch(line)
+        if entry is not None:
+            done = now_fs
+            if entry.ready_fs > now_fs:
+                self.prefetch_late_fs += entry.ready_fs - now_fs
+                done = entry.ready_fs
+            if entry.prefetched:
+                entry.prefetched = False
+                self.prefetch_useful += 1
+                prefetcher = self.prefetchers[core]
+                if prefetcher is not None:
+                    self._issue_prefetches(core, prefetcher.on_tagged_hit(line), now_fs)
+            if self.trace_hook is not None:
+                self.trace_hook(now_fs, core, "ld", line, done - now_fs)
+            return done
+        self.load_misses += 1
+        done = self._fetch(core, line, now_fs, for_write=False)
+        prefetcher = self.prefetchers[core]
+        if prefetcher is not None:
+            self._issue_prefetches(core, prefetcher.on_miss(line), now_fs)
+        if self.trace_hook is not None:
+            self.trace_hook(now_fs, core, "ld", line, done - now_fs)
+        return done
+
+    def store_line(self, core: int, line: int, now_fs: int,
+                   no_allocate: bool = False) -> int:
+        """Store to one line; returns the *stall* the core must absorb.
+
+        Store hits and buffered store misses cost the core nothing beyond
+        the issue slot; the returned stall is non-zero only when the store
+        buffer is full.
+        """
+        self.store_ops += 1
+        if self.trace_hook is not None:
+            self.trace_hook(now_fs, core, "st", line, 0)
+        entry = self.l1s[core].touch(line)
+        if entry is not None:
+            if entry.state is MesiState.SHARED:
+                self.upgrades += 1
+                cluster = self.cluster_of[core]
+                t = self.uncore.buses[cluster].req.control(now_fs)
+                if self._invalidate_peers(line, core):
+                    self.uncore.xbar.up[cluster].control(t)
+            entry.state = MesiState.MODIFIED
+            entry.prefetched = False
+            return 0
+        self.store_misses += 1
+        if self._no_write_allocate and not no_allocate:
+            # Write-through with gathering: push the line toward the L2
+            # without allocating in the L1.
+            self._invalidate_peers(line, core)
+            done = self.writeback(core, line, now_fs)
+            return self.store_buffers[core].push(now_fs, done)
+        refill = not no_allocate
+        done = self._fetch(core, line, now_fs, for_write=True, refill=refill)
+        return self.store_buffers[core].push(now_fs, done)
+
+    # ------------------------------------------------------------------
+    # Software cache control (flush / invalidate instructions)
+    # ------------------------------------------------------------------
+
+    def flush_range(self, core: int, first_line: int, last_line: int,
+                    now_fs: int) -> int:
+        """Write back every dirty line of the range; returns when posted.
+
+        The software communication primitive of the incoherent model, and
+        an ordinary cache-control instruction on the coherent one.
+        """
+        l1 = self.l1s[core]
+        flushed = now_fs
+        for line in range(first_line, last_line + 1):
+            entry = l1.lookup(line)
+            if entry is not None and entry.state is MesiState.MODIFIED:
+                entry.state = MesiState.SHARED
+                self.flushes += 1
+                flushed = max(flushed, self.writeback(core, line, now_fs))
+        return flushed
+
+    def invalidate_range(self, core: int, first_line: int, last_line: int,
+                         now_fs: int) -> None:
+        """Drop every cached line of the range.
+
+        Dirty lines are written back first and counted — silently losing
+        writes would make the traffic model lie about a software bug.
+        """
+        l1 = self.l1s[core]
+        for line in range(first_line, last_line + 1):
+            victim = l1.invalidate(line)
+            if victim is not None:
+                self.invalidates += 1
+                self._directory_remove(line, core)
+                if victim.state is MesiState.MODIFIED:
+                    self.writeback(core, line, now_fs)
+                    self.dirty_invalidates += 1
+
+    # ------------------------------------------------------------------
+    # End-of-run settling
+    # ------------------------------------------------------------------
+
+    def drain(self, now_fs: int) -> int:
+        """Flush dirty L1 and L2 state so off-chip traffic is fully counted.
+
+        Returns the time the memory system goes quiet.  Without this, a
+        model that leaves megabytes of dirty output in the L2 would appear
+        to use less bandwidth than one that wrote it out during the run.
+        """
+        t = now_fs
+        for buffer in self.store_buffers:
+            t = max(t, buffer.drain_time(now_fs))
+        for core, l1 in enumerate(self.l1s):
+            for entry in l1.lines():
+                if entry.state is MesiState.MODIFIED:
+                    entry.state = MesiState.SHARED
+                    t = max(t, self.writeback(core, entry.line, t))
+        return max(t, self.uncore.flush(t))
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def l1_misses(self) -> int:
+        """Demand load + store misses across all L1s."""
+        return self.load_misses + self.store_misses
+
+    @property
+    def l1_ops(self) -> int:
+        """Demand line operations across all L1s."""
+        return self.load_ops + self.store_ops
+
+
+class IncoherentCacheHierarchy(CacheCoherentHierarchy):
+    """Caches without coherence — Table 1's third practical design point.
+
+    No snooping, no invalidation broadcasts, no cache-to-cache transfers:
+    locality is hardware-managed but communication is software-managed
+    (Section 7 briefly discusses this option).  Software publishes data
+    with :meth:`~CacheCoherentHierarchy.flush_range` and observes it with
+    :meth:`~CacheCoherentHierarchy.invalidate_range` around
+    synchronization points; the model is only meaningful for applications
+    whose threads write disjoint cache lines in between.
+    """
+
+    def _candidates(self, line: int, requester: int):
+        return ()
+
+
+class StreamingHierarchy(CacheCoherentHierarchy):
+    """The streaming model: 8 KB cache + 24 KB local store + DMA per core.
+
+    The small cache serves stack data and globals (Section 3.3) and reuses
+    the coherent-cache machinery; the local stores and DMA engines carry
+    the streamed data.  Hardware prefetching is a cache-model enhancement
+    and is never enabled here.
+    """
+
+    def __init__(self, config: MachineConfig) -> None:
+        if config.prefetch.enabled:
+            config = config.with_(
+                prefetch=type(config.prefetch)(enabled=False)
+            )
+        super().__init__(config, l1_config=config.stream_l1)
+        self.local_stores = [
+            LocalStore(config.stream.local_store_bytes)
+            for _ in range(config.num_cores)
+        ]
+        self.dma_engines = [
+            DmaEngine(i, self.cluster_of[i], self.uncore,
+                      config.stream, config.line_bytes)
+            for i in range(config.num_cores)
+        ]
+
+    @property
+    def dma_bytes(self) -> int:
+        """Bytes moved by every DMA engine."""
+        return sum(e.bytes_read + e.bytes_written for e in self.dma_engines)
+
+    @property
+    def dma_commands(self) -> int:
+        """Commands issued by every DMA engine."""
+        return sum(e.commands for e in self.dma_engines)

@@ -1,0 +1,59 @@
+"""Per-core store buffer.
+
+Each core includes a store buffer that allows loads to bypass store
+misses, making the consistency model weak (Section 3.2).  The buffer is
+modelled as a bounded queue of *retirement timestamps*: when a store miss
+is issued, its memory-system walk happens immediately (functionally and in
+terms of resource occupancy), but the core only stalls if the buffer is
+full of not-yet-retired stores, in which case the stall lasts until the
+oldest entry retires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class StoreBuffer:
+    """Bounded queue of outstanding store completion times."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError(f"store buffer needs at least one entry, got {entries}")
+        self.entries = entries
+        self._pending: deque[int] = deque()
+        self.stores_buffered = 0
+        self.full_stalls = 0
+
+    def _drain(self, now_fs: int) -> None:
+        pending = self._pending
+        while pending and pending[0] <= now_fs:
+            pending.popleft()
+
+    def push(self, now_fs: int, done_fs: int) -> int:
+        """Buffer a store that the memory system will complete at ``done_fs``.
+
+        Returns the stall in femtoseconds the core must absorb before the
+        store can enter the buffer (zero if a slot is free at ``now_fs``).
+        """
+        self._drain(now_fs)
+        stall = 0
+        if len(self._pending) >= self.entries:
+            # Wait for the oldest store to retire, then drain again.
+            oldest = self._pending[0]
+            stall = max(0, oldest - now_fs)
+            self.full_stalls += 1
+            self._drain(now_fs + stall)
+        self._pending.append(max(done_fs, now_fs + stall))
+        self.stores_buffered += 1
+        return stall
+
+    def outstanding(self, now_fs: int) -> int:
+        """Number of stores still in flight at ``now_fs``."""
+        self._drain(now_fs)
+        return len(self._pending)
+
+    def drain_time(self, now_fs: int) -> int:
+        """Time at which the buffer becomes empty (for end-of-run settling)."""
+        self._drain(now_fs)
+        return self._pending[-1] if self._pending else now_fs

@@ -1,0 +1,105 @@
+"""Event queue and simulator clock.
+
+Timestamps are integer femtoseconds (see :mod:`repro.units`).  Events with
+equal timestamps fire in insertion order, which makes every simulation
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class EventQueue:
+    """A binary-heap event queue keyed on (time, insertion sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time_fs: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire at ``time_fs``."""
+        if time_fs < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time_fs}")
+        heapq.heappush(self._heap, (time_fs, self._seq, callback))
+        self._seq += 1
+
+    def pop(self) -> tuple[int, Callable[[], None]]:
+        """Remove and return the earliest (time, callback) pair."""
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        time_fs, _, callback = heapq.heappop(self._heap)
+        return time_fs, callback
+
+    def peek_time(self) -> int | None:
+        """Return the timestamp of the earliest event, or None if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+
+class Simulator:
+    """Drives the event queue and tracks the global simulation clock.
+
+    Components schedule work with :meth:`at` (absolute time) or
+    :meth:`after` (relative to the current clock).  :meth:`run` drains the
+    queue, advancing the clock monotonically.
+    """
+
+    def __init__(self, max_events: int | None = None) -> None:
+        self.queue = EventQueue()
+        self.now = 0
+        self.events_processed = 0
+        self._max_events = max_events
+        self._running = False
+
+    def at(self, time_fs: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``time_fs``.
+
+        Scheduling in the past is a programming error and raises
+        :class:`SimulationError` — occupancy resources should have clamped
+        the time to ``max(now, ...)`` before scheduling.
+        """
+        if time_fs < self.now:
+            raise SimulationError(
+                f"event scheduled in the past: {time_fs} < now {self.now}"
+            )
+        self.queue.schedule(time_fs, callback)
+
+    def after(self, delay_fs: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay_fs`` femtoseconds from now."""
+        if delay_fs < 0:
+            raise SimulationError(f"negative delay {delay_fs}")
+        self.queue.schedule(self.now + delay_fs, callback)
+
+    def run(self) -> int:
+        """Process events until the queue is empty.  Returns the final clock."""
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            while len(self.queue):
+                time_fs, callback = self.queue.pop()
+                if time_fs < self.now:
+                    raise SimulationError(
+                        f"time went backwards: {time_fs} < {self.now}"
+                    )
+                self.now = time_fs
+                callback()
+                self.events_processed += 1
+                if self._max_events is not None and self.events_processed > self._max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self._max_events}; "
+                        "likely a livelocked workload"
+                    )
+        finally:
+            self._running = False
+        return self.now

@@ -1,0 +1,133 @@
+"""Occupancy-based models of shared, contended resources.
+
+Rather than simulating arbitration cycle by cycle, each shared resource
+(intra-cluster bus, crossbar port, L2 bank port, DRAM channel) keeps a
+calendar of busy intervals.  A request arriving at time *t* is served in
+the first idle gap at or after *t* that fits its service time.
+
+The calendar (rather than a single ``next_free`` watermark) matters
+because requests arrive slightly out of time order: cores execute in
+quanta, and a dependent-miss chain walked inside one event reserves the
+resource at a run of future instants.  With a single watermark, another
+core arriving *earlier* would falsely queue behind the whole run even
+though the resource is idle in between; the calendar lets it backfill
+the gap, which is what real arbitration would do.  Intervals are merged
+when they touch and the calendar is bounded, so the common streaming
+case stays O(log n) per request.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+#: Upper bound on remembered busy intervals per resource.  When exceeded,
+#: the oldest intervals are dropped (they are in the past for every
+#: in-flight requester, so dropping them cannot create conflicts).
+_MAX_INTERVALS = 96
+
+
+class OccupancyResource:
+    """A resource serving one request at a time, with gap backfilling.
+
+    Parameters
+    ----------
+    name:
+        Used in statistics and error messages.
+    latency_fs:
+        Pipeline latency added to every request (does *not* occupy the
+        resource; pipelined per Table 2).
+    """
+
+    def __init__(self, name: str, latency_fs: int = 0) -> None:
+        if latency_fs < 0:
+            raise ValueError(f"{name}: negative latency {latency_fs}")
+        self.name = name
+        self.latency_fs = latency_fs
+        self.busy_fs = 0
+        self.wait_fs = 0
+        self.requests = 0
+        # Disjoint, sorted busy intervals; _ends mirrors the interval end
+        # points so arrival lookup can bisect.
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+
+    @property
+    def next_free(self) -> int:
+        """The end of the last reservation (0 if never used)."""
+        return self._ends[-1] if self._ends else 0
+
+    def acquire(self, now_fs: int, service_fs: int) -> tuple[int, int]:
+        """Serve a request arriving at ``now_fs`` needing ``service_fs``.
+
+        Returns ``(start_fs, done_fs)`` where ``done_fs`` includes the
+        pipeline latency.  The resource is occupied during
+        ``[start_fs, start_fs + service_fs)``.
+        """
+        if service_fs < 0:
+            raise ValueError(f"{self.name}: negative service time {service_fs}")
+        self.busy_fs += service_fs
+        self.requests += 1
+        starts, ends = self._starts, self._ends
+        # First interval that ends after the arrival.
+        index = bisect_right(ends, now_fs)
+        t = now_fs
+        while index < len(starts):
+            if starts[index] - t >= service_fs:
+                break  # the gap before this interval fits
+            if ends[index] > t:
+                t = ends[index]
+            index += 1
+        start = t
+        self.wait_fs += start - now_fs
+        end = t + service_fs
+        # Insert, merging with touching neighbours to keep the list small.
+        merge_prev = index > 0 and ends[index - 1] == start
+        merge_next = index < len(starts) and starts[index] == end
+        if service_fs == 0:
+            pass  # zero-length reservations need no calendar entry
+        elif merge_prev and merge_next:
+            ends[index - 1] = ends[index]
+            del starts[index]
+            del ends[index]
+        elif merge_prev:
+            ends[index - 1] = end
+        elif merge_next:
+            starts[index] = start
+        else:
+            starts.insert(index, start)
+            ends.insert(index, end)
+        if len(starts) > _MAX_INTERVALS:
+            del starts[0]
+            del ends[0]
+        return start, end + self.latency_fs
+
+    def utilization(self, total_fs: int) -> float:
+        """Fraction of ``total_fs`` during which the resource was busy."""
+        if total_fs <= 0:
+            return 0.0
+        return min(1.0, self.busy_fs / total_fs)
+
+
+class ThroughputResource(OccupancyResource):
+    """An occupancy resource whose service time is proportional to bytes.
+
+    Used for the memory channel and network links: a transfer of ``n``
+    bytes occupies the resource for ``n * fs_per_byte`` femtoseconds.
+    """
+
+    def __init__(self, name: str, fs_per_byte: int, latency_fs: int = 0) -> None:
+        super().__init__(name, latency_fs)
+        if fs_per_byte <= 0:
+            raise ValueError(f"{name}: fs_per_byte must be positive, got {fs_per_byte}")
+        self.fs_per_byte = fs_per_byte
+        self.bytes_moved = 0
+
+    def transfer(self, now_fs: int, num_bytes: int) -> tuple[int, int]:
+        """Serve a ``num_bytes`` transfer arriving at ``now_fs``.
+
+        Returns ``(start_fs, done_fs)``.
+        """
+        if num_bytes < 0:
+            raise ValueError(f"{self.name}: negative transfer size {num_bytes}")
+        self.bytes_moved += num_bytes
+        return self.acquire(now_fs, num_bytes * self.fs_per_byte)

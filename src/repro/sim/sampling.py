@@ -1,0 +1,108 @@
+"""Interval sampling: time series of system activity during a run.
+
+A :class:`IntervalSampler` attaches to a :class:`~repro.core.system.CmpSystem`
+before ``run()`` and snapshots counters at fixed simulated-time intervals,
+yielding per-window series of DRAM bandwidth utilization and core
+activity — the phase behaviour (e.g. MergeSort's narrowing merge levels,
+MPEG-2's per-frame barriers) that end-of-run totals average away.
+
+Usage::
+
+    system = CmpSystem(config, program)
+    sampler = IntervalSampler(system, interval_fs=ns_to_fs(50_000))
+    sampler.start()
+    result = system.run()
+    print(sampler.render())
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.system import CmpSystem
+
+#: Glyph ramp for sparklines, lightest to heaviest.
+_RAMP = " .:-=+*#%@"
+
+
+def sparkline(values: list[float], peak: float | None = None) -> str:
+    """Render values in [0, peak] as a one-line intensity ramp.
+
+    >>> sparkline([0.0, 0.5, 1.0])
+    ' =@'
+    """
+    if not values:
+        return ""
+    peak = peak if peak is not None else (max(values) or 1.0)
+    if peak <= 0:
+        peak = 1.0
+    chars = []
+    top = len(_RAMP) - 1
+    for value in values:
+        level = min(top, max(0, round(value / peak * top)))
+        chars.append(_RAMP[level])
+    return "".join(chars)
+
+
+class IntervalSampler:
+    """Snapshots a running system's counters every ``interval_fs``."""
+
+    def __init__(self, system: "CmpSystem", interval_fs: int) -> None:
+        if interval_fs <= 0:
+            raise ValueError(f"interval must be positive, got {interval_fs}")
+        self.system = system
+        self.interval_fs = interval_fs
+        self.samples: list[dict] = []
+        self._last_dram_bytes = 0
+        self._last_useful_fs = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Arm the sampler; must be called before ``system.run()``."""
+        if self._started:
+            raise RuntimeError("sampler already started")
+        self._started = True
+        self.system.sim.at(self.interval_fs, self._tick)
+
+    def _tick(self) -> None:
+        system = self.system
+        now = system.sim.now
+        dram_bytes = system.hierarchy.uncore.dram.total_bytes
+        useful_fs = sum(p.useful_fs for p in system.processors)
+        window = self.interval_fs
+        dram_util = ((dram_bytes - self._last_dram_bytes)
+                     * system.hierarchy.uncore.dram.config.fs_per_byte
+                     / window / system.hierarchy.uncore.dram.config.channels)
+        activity = ((useful_fs - self._last_useful_fs)
+                    / window / len(system.processors))
+        self.samples.append({
+            "time_fs": now,
+            "dram_utilization": min(1.0, dram_util),
+            "core_activity": min(1.0, activity),
+        })
+        self._last_dram_bytes = dram_bytes
+        self._last_useful_fs = useful_fs
+        if not all(p.done for p in system.processors):
+            system.sim.after(self.interval_fs, self._tick)
+
+    def series(self, key: str) -> list[float]:
+        """One column of the samples, e.g. ``dram_utilization``."""
+        return [s[key] for s in self.samples]
+
+    def render(self, width: int = 80) -> str:
+        """Sparkline rendering of both series, downsampled to ``width``."""
+        def thin(values: list[float]) -> list[float]:
+            if len(values) <= width:
+                return values
+            bucket = len(values) / width
+            return [
+                max(values[int(i * bucket):max(int(i * bucket) + 1,
+                                               int((i + 1) * bucket))])
+                for i in range(width)
+            ]
+
+        dram = sparkline(thin(self.series("dram_utilization")), peak=1.0)
+        cores = sparkline(thin(self.series("core_activity")), peak=1.0)
+        return (f"core activity |{cores}|\n"
+                f"dram util     |{dram}|")

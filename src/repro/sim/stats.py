@@ -1,0 +1,76 @@
+"""Hierarchical statistics registry.
+
+Every architectural component owns named :class:`Counter` objects created
+through a :class:`StatsRegistry`.  The registry provides a flat snapshot
+(``as_dict``) used by the harness to assemble the paper's tables, and
+supports arithmetic merging for multi-run aggregation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increment (non-negative amounts only)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class StatsRegistry:
+    """A namespace of counters, keyed by dotted path (e.g. ``l1.0.misses``)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter named ``name``, creating it if needed."""
+        existing = self._counters.get(name)
+        if existing is not None:
+            return existing
+        created = Counter(name)
+        self._counters[name] = created
+        return created
+
+    def __getitem__(self, name: str) -> int:
+        return self._counters[name].value
+
+    def get(self, name: str, default: int = 0) -> int:
+        """Counter value, or ``default`` when absent."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else default
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def as_dict(self) -> dict[str, int]:
+        """Return a flat snapshot of every counter."""
+        return {name: counter.value for name, counter in self._counters.items()}
+
+    def total(self, prefix: str) -> int:
+        """Sum every counter whose name starts with ``prefix``.
+
+        Useful for aggregating per-core counters, e.g.
+        ``stats.total("l1.") + ...``; an exact-name match is included.
+        """
+        return sum(
+            counter.value
+            for name, counter in self._counters.items()
+            if name.startswith(prefix)
+        )

@@ -1,0 +1,86 @@
+"""Internal-consistency checks for simulation results.
+
+:func:`check_result` audits a :class:`~repro.results.RunResult` against
+the physical invariants the simulator must never violate — time
+conservation, channel capacity, counter conservation laws — and returns
+a list of human-readable violations (empty when everything holds).
+:func:`assert_valid` raises instead.
+
+The test suite runs these on every workload; downstream users extending
+the machine model or adding workloads can call them to catch accounting
+bugs early.
+"""
+
+from __future__ import annotations
+
+from repro.results import RunResult
+
+
+def check_result(result: RunResult, config=None) -> list[str]:
+    """Return every invariant violation found in ``result``."""
+    problems: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    # --- time conservation -------------------------------------------------
+    breakdown = result.breakdown
+    check(result.exec_time_fs >= 0, "negative execution time")
+    check(result.settled_fs >= result.exec_time_fs,
+          "settle time precedes execution end")
+    components = (breakdown.useful_fs, breakdown.sync_fs,
+                  breakdown.load_fs, breakdown.store_fs)
+    check(all(c >= 0 for c in components),
+          "negative execution-time component")
+    total = sum(components)
+    check(abs(total - result.exec_time_fs) <= max(1, result.exec_time_fs) * 1e-9,
+          f"breakdown sums to {total}, execution time is {result.exec_time_fs}")
+
+    # --- traffic -----------------------------------------------------------
+    traffic = result.traffic
+    check(traffic.read_bytes >= 0 and traffic.write_bytes >= 0,
+          "negative off-chip traffic")
+    if config is not None and result.settled_fs > 0:
+        capacity_mb_s = (config.dram.bandwidth_gbps * 1000
+                         * config.dram.channels)
+        check(result.offchip_mb_per_s <= capacity_mb_s * 1.001,
+              f"average bandwidth {result.offchip_mb_per_s:.0f} MB/s exceeds "
+              f"channel capacity {capacity_mb_s:.0f} MB/s")
+
+    # --- counter conservation ----------------------------------------------
+    check(result.l1_misses <= result.stats.get("l1.load_ops", 0)
+          + result.stats.get("l1.store_ops", 0),
+          "more L1 misses than L1 line operations")
+    check(result.l1_load_misses + result.l1_store_misses == result.l1_misses,
+          "load+store misses do not sum to total misses")
+    check(result.l2_misses <= result.l2_accesses,
+          "more L2 misses than L2 accesses")
+    line_ops = (result.stats.get("l1.load_ops", 0)
+                + result.stats.get("l1.store_ops", 0))
+    check(result.word_accesses > 0 or line_ops == 0,
+          "line operations performed without any word accesses")
+    hits = result.stats.get("l2.read_hits", 0) + result.stats.get(
+        "l2.write_hits", 0)
+    check(hits + result.l2_misses == result.l2_accesses,
+          "L2 hits + misses do not sum to accesses")
+
+    # --- energy ------------------------------------------------------------
+    energy = result.energy.as_dict()
+    check(all(v >= 0 for v in energy.values()), "negative energy component")
+    if result.model != "str":
+        check(energy["local_store"] == 0,
+              "cache-based run charged local-store energy")
+    check(result.energy.total > 0 or result.instructions == 0,
+          "work performed but zero energy")
+
+    return problems
+
+
+def assert_valid(result: RunResult, config=None) -> None:
+    """Raise ``AssertionError`` listing every violated invariant."""
+    problems = check_result(result, config)
+    if problems:
+        raise AssertionError(
+            "result failed validation:\n  - " + "\n  - ".join(problems)
+        )

@@ -1,0 +1,45 @@
+"""The eleven applications of the paper (Table 3), in both memory models.
+
+Every workload builds a :class:`~repro.workloads.base.Program` for either
+the cache-coherent or the streaming model.  The two variants perform the
+same logical work with the same data-locality optimizations (blocking,
+producer-consumer fusion, locality-aware scheduling), differing only in
+how data moves — mirroring the paper's methodology (Section 4.2).
+
+MPEG-2 and 179.art additionally provide the *unoptimized* ("original")
+cache-based variants used by Figures 9 and 10 to isolate the value of
+stream programming on cache-based hardware.
+"""
+
+from repro.workloads.base import (
+    Arena,
+    Env,
+    Program,
+    Workload,
+    WorkloadParams,
+    get_workload,
+    register,
+    workload_names,
+)
+from repro.workloads import (  # noqa: F401  (registration side effects)
+    art,
+    depth,
+    fem,
+    fir,
+    h264,
+    jpeg,
+    mpeg2,
+    raytracer,
+    sorts,
+)
+
+__all__ = [
+    "Arena",
+    "Env",
+    "Program",
+    "Workload",
+    "WorkloadParams",
+    "get_workload",
+    "register",
+    "workload_names",
+]

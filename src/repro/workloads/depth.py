@@ -1,0 +1,168 @@
+"""Stereo depth extraction (Section 4.2).
+
+Input frames are divided into 32x32 blocks that are statically assigned
+to processors.  For each block the kernel loads the left-image block and
+a disparity-wide strip of the right image, then runs a sum-of-absolute-
+differences search over the disparity range — an extremely compute-dense
+kernel (Table 3: 8662 instructions per L1 miss, 11.4 MB/s of off-chip
+bandwidth, the lowest of the suite).  Both memory models capture the
+locality equally well and perform identically at every core count and
+clock rate (Figures 2 and the Section 5.3 discussion).
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.core.ops import (
+    barrier_wait,
+    compute,
+    dma_get,
+    dma_put,
+    dma_wait,
+    load,
+    local_load,
+    local_store,
+    store,
+)
+from repro.core.sync import Barrier
+from repro.workloads.base import (
+    Arena,
+    Env,
+    Program,
+    Workload,
+    partition,
+    register,
+)
+
+TILE = 32  # block edge, pixels
+
+
+@register
+class DepthWorkload(Workload):
+    """Stereo depth extraction over static 32x32 blocks (see module
+    docstring)."""
+
+    incoherent_safe = True
+    name = "depth"
+    presets = {
+        "default": {
+            "width": 352,
+            "height": 288,
+            "pairs": 3,
+            "disparity": 16,
+            "block_cycles": 300000,
+            "stream_extra_cycles": 500,
+        },
+        "small": {
+            "width": 192,
+            "height": 96,
+            "pairs": 2,
+            "disparity": 16,
+            "block_cycles": 90000,
+            "stream_extra_cycles": 500,
+        },
+        "tiny": {
+            "width": 128,
+            "height": 64,
+            "pairs": 1,
+            "disparity": 8,
+            "block_cycles": 24000,
+            "stream_extra_cycles": 100,
+        },
+    }
+
+    def _geometry(self, params: dict):
+        width, height = params["width"], params["height"]
+        if width % TILE or height % TILE:
+            raise ValueError(f"frame {width}x{height} not {TILE}-aligned")
+        return width // TILE, height // TILE
+
+    def _layout(self, params: dict):
+        arena = Arena()
+        frame = params["width"] * params["height"]
+        left = arena.alloc(frame, "left")
+        right = arena.alloc(frame, "right")
+        disp = arena.alloc(frame, "disparity")
+        return arena, left, right, disp
+
+    def _build_cached(self, config: MachineConfig, params: dict) -> Program:
+        arena, left, right, disp = self._layout(params)
+        tiles_x, tiles_y = self._geometry(params)
+        width = params["width"]
+        rng = params["disparity"]
+        num_cores = config.num_cores
+        finish = Barrier(num_cores, "depth.frame")
+        n_tiles = tiles_x * tiles_y
+        strip_w = TILE + rng
+
+        def make_thread(env: Env):
+            start, count = partition(n_tiles, num_cores, env.core_id)
+            for _pair in range(params["pairs"]):
+                for t in range(start, start + count):
+                    tx, ty = t % tiles_x, t // tiles_x
+                    x0 = tx * TILE
+                    sx0 = min(x0, width - strip_w)
+                    for r in range(TILE):
+                        row = (ty * TILE + r) * width
+                        yield load(left + row + x0, TILE)
+                        yield load(right + row + sx0, strip_w)
+                    yield compute(params["block_cycles"],
+                                  l1_accesses=params["block_cycles"] // 2)
+                    for r in range(TILE):
+                        yield store(disp + (ty * TILE + r) * width + x0, TILE)
+                yield barrier_wait(finish)
+
+        return Program("depth", [make_thread] * num_cores, arena)
+
+    def _build_streaming(self, config: MachineConfig, params: dict) -> Program:
+        arena, left, right, disp = self._layout(params)
+        tiles_x, tiles_y = self._geometry(params)
+        width = params["width"]
+        rng = params["disparity"]
+        num_cores = config.num_cores
+        finish = Barrier(num_cores, "depth.frame")
+        n_tiles = tiles_x * tiles_y
+        strip_w = TILE + rng
+        in_bytes = TILE * TILE + TILE * strip_w
+        out_bytes = TILE * TILE
+        cycles = params["block_cycles"] + params["stream_extra_cycles"]
+
+        def make_thread(env: Env):
+            ls = env.local_store
+            in_buf = [ls.alloc(in_bytes, f"in{i}") for i in range(2)]
+            out_buf = [ls.alloc(out_bytes, f"out{i}") for i in range(2)]
+            start, count = partition(n_tiles, num_cores, env.core_id)
+
+            def fetch(tag: int, t: int):
+                tx, ty = t % tiles_x, t // tiles_x
+                x0 = tx * TILE
+                sx0 = min(x0, width - strip_w)
+                row0 = ty * TILE * width
+                yield dma_get(tag, left + row0 + x0, TILE * TILE,
+                              stride=width, block=TILE)
+                yield dma_get(tag, right + row0 + sx0, TILE * strip_w,
+                              stride=width, block=strip_w)
+
+            for _pair in range(params["pairs"]):
+                if count:
+                    yield from fetch(0, start)
+                for i in range(count):
+                    t = start + i
+                    parity = i & 1
+                    if i + 1 < count:
+                        yield from fetch((i + 1) & 1, t + 1)
+                    yield dma_wait(parity)
+                    if i >= 2:
+                        yield dma_wait(2 + parity)
+                    yield local_load(in_buf[parity], in_bytes)
+                    yield compute(cycles, l1_accesses=cycles // 2)
+                    yield local_store(out_buf[parity], out_bytes)
+                    tx, ty = t % tiles_x, t // tiles_x
+                    yield dma_put(2 + parity,
+                                  disp + ty * TILE * width + tx * TILE,
+                                  out_bytes, stride=width, block=TILE)
+                yield dma_wait(2)
+                yield dma_wait(3)
+                yield barrier_wait(finish)
+
+        return Program("depth", [make_thread] * num_cores, arena)

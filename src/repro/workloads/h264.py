@@ -1,0 +1,221 @@
+"""H.264 video encoder (Section 4.2).
+
+H.264 macroblocks are *dependent*: encoding (x, y) needs its left,
+upper, and upper-right neighbours, so parallelism comes from a wavefront
+schedule over anti-diagonals of the k = x + 2y index.  With CIF frames
+the wavefront is at most ~(mbs_x+1)/2 wide, so "the macroblock
+parallelism available in H.264 is limited" (Section 4.2) and both memory
+models show growing synchronization stalls at 8-16 cores (Figure 2).
+
+Per macroblock the encoder is strongly compute-bound (intra/inter mode
+search, RD optimization): Table 3 reports 3705 instructions per L1 miss
+and only 10.8 MB/s of off-chip bandwidth, thanks to heavy reference-
+window reuse that both caches and local stores capture equally well.
+
+The streaming variant exploits "boundary-condition optimizations that
+proved difficult in the cache-based variant" (Section 5.1), modelled as
+a small per-macroblock compute reduction.
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.core.ops import (
+    barrier_wait,
+    compute,
+    dma_get,
+    dma_put,
+    dma_wait,
+    load,
+    local_load,
+    local_store,
+    store,
+)
+from repro.core.sync import Barrier
+from repro.workloads.base import (
+    Arena,
+    Env,
+    Program,
+    Workload,
+    register,
+)
+
+MB = 16
+
+
+def wavefront_diagonals(mbs_x: int, mbs_y: int) -> list[list[tuple[int, int]]]:
+    """Group macroblocks into dependency-safe anti-diagonals (k = x + 2y).
+
+    Every macroblock in diagonal k depends only on macroblocks in
+    diagonals < k (left: k-1; top: k-2; top-right: k-1), so the groups can
+    be processed in order with a barrier between them.
+    """
+    max_k = (mbs_x - 1) + 2 * (mbs_y - 1)
+    diagonals: list[list[tuple[int, int]]] = [[] for _ in range(max_k + 1)]
+    for y in range(mbs_y):
+        for x in range(mbs_x):
+            diagonals[x + 2 * y].append((x, y))
+    return diagonals
+
+
+@register
+class H264Workload(Workload):
+    """H.264 encoder: wavefront-dependent macroblocks (see module
+    docstring)."""
+
+    name = "h264"
+    presets = {
+        "default": {
+            "width": 352,
+            "height": 288,
+            "frames": 2,
+            "mb_cycles": 120000,
+            "stream_boundary_savings": 2000,
+            "search_range": 16,
+        },
+        "small": {
+            "width": 176,
+            "height": 144,
+            "frames": 2,
+            "mb_cycles": 120000,
+            "stream_boundary_savings": 2000,
+            "search_range": 16,
+        },
+        "tiny": {
+            "width": 64,
+            "height": 48,
+            "frames": 1,
+            "mb_cycles": 6000,
+            "stream_boundary_savings": 200,
+            "search_range": 16,
+        },
+    }
+
+    def _layout(self, arena: Arena, params: dict):
+        width, height = params["width"], params["height"]
+        luma = width * height
+        cur = arena.alloc(luma + luma // 2, "current")
+        ref = arena.alloc(luma + luma // 2, "reference")
+        recon = arena.alloc(luma + luma // 2, "recon")
+        mbs_x, mbs_y = width // MB, height // MB
+        # Per-macroblock mode/motion metadata exchanged between neighbours.
+        modes = arena.alloc(mbs_x * mbs_y * 64, "modes")
+        bits = arena.alloc(mbs_x * mbs_y * 16, "bitstream")
+        return cur, ref, recon, modes, bits
+
+    def _geometry(self, params: dict):
+        width, height = params["width"], params["height"]
+        if width % MB or height % MB:
+            raise ValueError(f"frame {width}x{height} not macroblock aligned")
+        return width // MB, height // MB
+
+    def _build_cached(self, config: MachineConfig, params: dict) -> Program:
+        arena = Arena()
+        cur, ref, recon, modes, bits = self._layout(arena, params)
+        mbs_x, mbs_y = self._geometry(params)
+        width = params["width"]
+        luma = width * params["height"]
+        rng = params["search_range"]
+        num_cores = config.num_cores
+        barrier = Barrier(num_cores, "h264.diag")
+        diagonals = wavefront_diagonals(mbs_x, mbs_y)
+        mb_cycles = params["mb_cycles"]
+
+        def mode_addr(mbx: int, mby: int) -> int:
+            return modes + (mby * mbs_x + mbx) * 64
+
+        def make_thread(env: Env):
+            core = env.core_id
+            for _frame in range(params["frames"]):
+                for diag in diagonals:
+                    for mbx, mby in diag[core::num_cores]:
+                        # Current macroblock (luma + chroma rows).
+                        for r in range(MB):
+                            yield load(cur + (mby * MB + r) * width + mbx * MB,
+                                       MB, accesses=4)
+                        for r in range(MB // 2):
+                            yield load(cur + luma
+                                       + (mby * MB // 2 + r) * width + mbx * MB,
+                                       MB, accesses=4)
+                        # Reference search window (heavily reused row-to-row).
+                        win_w = MB + 2 * rng
+                        x0 = min(max(0, mbx * MB - rng), width - win_w)
+                        for r in range(-rng, MB + rng):
+                            ry = min(max(0, mby * MB + r),
+                                     params["height"] - 1)
+                            yield load(ref + ry * width + x0, win_w,
+                                       accesses=win_w // 4)
+                        # Neighbour mode data (the wavefront dependency).
+                        if mbx > 0:
+                            yield load(mode_addr(mbx - 1, mby), 64)
+                        if mby > 0:
+                            yield load(mode_addr(mbx, mby - 1), 64)
+                            if mbx + 1 < mbs_x:
+                                yield load(mode_addr(mbx + 1, mby - 1), 64)
+                        yield compute(mb_cycles, l1_accesses=mb_cycles // 2)
+                        # Reconstructed pixels + own mode data + bitstream.
+                        for r in range(MB):
+                            yield store(recon + (mby * MB + r) * width + mbx * MB,
+                                        MB, accesses=4)
+                        yield store(mode_addr(mbx, mby), 64)
+                        yield store(bits + (mby * mbs_x + mbx) * 16, 16)
+                    yield barrier_wait(barrier)
+
+        return Program("h264", [make_thread] * num_cores, arena)
+
+    def _build_streaming(self, config: MachineConfig, params: dict) -> Program:
+        arena = Arena()
+        cur, ref, recon, modes, bits = self._layout(arena, params)
+        mbs_x, mbs_y = self._geometry(params)
+        width = params["width"]
+        luma = width * params["height"]
+        rng = params["search_range"]
+        num_cores = config.num_cores
+        barrier = Barrier(num_cores, "h264.diag")
+        diagonals = wavefront_diagonals(mbs_x, mbs_y)
+        mb_cycles = params["mb_cycles"] - params["stream_boundary_savings"]
+        win_h = MB + 2 * rng
+        mb_bytes = MB * MB + MB * MB // 2
+        col_bytes = win_h * MB
+
+        def make_thread(env: Env):
+            ls = env.local_store
+            in_bytes = mb_bytes + col_bytes + 3 * 64
+            in_buf = ls.alloc(in_bytes, "in")
+            window = ls.alloc(win_h * 2 * rng, "window")
+            out_bytes = MB * MB + 64 + 16
+            out_buf = ls.alloc(out_bytes, "out")
+            core = env.core_id
+            for _frame in range(params["frames"]):
+                for diag in diagonals:
+                    for mbx, mby in diag[core::num_cores]:
+                        # Gather current MB (strided), new window column, and
+                        # neighbour mode records (indexed gather).
+                        yield dma_get(0, cur + (mby * MB) * width + mbx * MB,
+                                      MB * MB, stride=width, block=MB)
+                        yield dma_get(0, cur + luma
+                                      + (mby * MB // 2) * width + mbx * MB,
+                                      MB * MB // 2, stride=width, block=MB)
+                        x0 = min(max(0, mbx * MB + rng), width - MB)
+                        y0 = min(max(0, mby * MB - rng),
+                                 params["height"] - win_h)
+                        yield dma_get(0, ref + y0 * width + x0,
+                                      col_bytes, stride=width, block=MB)
+                        if mbx > 0:
+                            yield dma_get(0, modes + (mby * mbs_x + mbx - 1) * 64, 64)
+                        if mby > 0:
+                            yield dma_get(0, modes + ((mby - 1) * mbs_x + mbx) * 64, 64)
+                        yield dma_wait(0)
+                        yield local_load(in_buf, in_bytes)
+                        yield local_load(window, win_h * 2 * rng,
+                                         accesses=win_h * rng // 2)
+                        yield compute(mb_cycles, l1_accesses=mb_cycles // 2)
+                        yield local_store(out_buf, out_bytes)
+                        yield dma_put(1, recon + (mby * MB) * width + mbx * MB,
+                                      MB * MB, stride=width, block=MB)
+                        yield dma_put(1, modes + (mby * mbs_x + mbx) * 64, 64)
+                        yield dma_put(1, bits + (mby * mbs_x + mbx) * 16, 16)
+                        yield dma_wait(1)
+                    yield barrier_wait(barrier)
+
+        return Program("h264", [make_thread] * num_cores, arena)

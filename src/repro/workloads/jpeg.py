@@ -1,0 +1,198 @@
+"""JPEG encode and decode (IJG release 6b in the paper, Section 4.2).
+
+Both are parallelized *across input images*, "in a manner similar to that
+done by an image thumbnail browser" — a task queue of independent images.
+Their memory behaviour is mirrored (Section 4.2):
+
+* **Encode** reads a lot of pixel data and writes a small compressed
+  stream: read-dominated off-chip traffic.
+* **Decode** reads a small compressed stream and writes full images: a
+  large *output-only* stream, so the cache model pays superfluous
+  write-allocate refills and streaming saves 10-25% energy (Figure 4's
+  class; Section 5.2).
+
+Per 8x8 block the DCT/quant (or dequant/IDCT) kernel is a few hundred
+VLIW cycles; images are swept in 8-row bands so horizontally adjacent
+blocks share cache lines.
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.core.ops import (
+    barrier_wait,
+    compute,
+    dma_get,
+    dma_put,
+    dma_wait,
+    load,
+    local_load,
+    local_store,
+    pfs_store,
+    store,
+    task_pop,
+)
+from repro.core.sync import Barrier, TaskQueue
+from repro.workloads.base import (
+    Arena,
+    Env,
+    Program,
+    Workload,
+    register,
+)
+
+BLOCK = 8  # JPEG block edge, pixels
+
+
+class _JpegBase(Workload):
+    """Shared structure for the encoder and decoder."""
+
+    #: True for the encoder (big reads, small writes); False for decode.
+    encode = True
+
+    def _layout(self, params: dict):
+        arena = Arena()
+        img_bytes = params["img_w"] * params["img_h"]
+        comp_bytes = max(BLOCK * BLOCK, img_bytes // params["compression"])
+        pixels = arena.alloc(img_bytes * params["images"], "pixels")
+        compressed = arena.alloc(comp_bytes * params["images"], "compressed")
+        return arena, pixels, compressed, img_bytes, comp_bytes
+
+    def _build_cached(self, config: MachineConfig, params: dict) -> Program:
+        arena, pixels, compressed, img_bytes, comp_bytes = self._layout(params)
+        num_cores = config.num_cores
+        finish = Barrier(num_cores, "jpeg.finish")
+        queue = TaskQueue(list(range(params["images"])), name="jpeg.images")
+        img_w, img_h = params["img_w"], params["img_h"]
+        blocks_per_band = img_w // BLOCK
+        band_cycles = params["block_cycles"] * blocks_per_band
+        encode = self.encode
+        use_pfs = params["pfs"] and not encode
+        pixel_store = pfs_store if use_pfs else store
+
+        def make_thread(env: Env):
+            while True:
+                image = yield task_pop(queue)
+                if image is None:
+                    break
+                pix_base = pixels + image * img_bytes
+                comp_base = compressed + image * comp_bytes
+                comp_per_band = comp_bytes // (img_h // BLOCK)
+                for band in range(img_h // BLOCK):
+                    band_base = pix_base + band * BLOCK * img_w
+                    if encode:
+                        for r in range(BLOCK):
+                            yield load(band_base + r * img_w, img_w)
+                        yield compute(band_cycles,
+                                      l1_accesses=band_cycles // 2)
+                        yield store(comp_base + band * comp_per_band,
+                                    comp_per_band)
+                    else:
+                        yield load(comp_base + band * comp_per_band,
+                                   comp_per_band)
+                        yield compute(band_cycles,
+                                      l1_accesses=band_cycles // 2)
+                        for r in range(BLOCK):
+                            yield pixel_store(band_base + r * img_w, img_w)
+            yield barrier_wait(finish)
+
+        return Program(self.name, [make_thread] * num_cores, arena)
+
+    def _build_streaming(self, config: MachineConfig, params: dict) -> Program:
+        arena, pixels, compressed, img_bytes, comp_bytes = self._layout(params)
+        num_cores = config.num_cores
+        finish = Barrier(num_cores, "jpeg.finish")
+        queue = TaskQueue(list(range(params["images"])), name="jpeg.images")
+        img_w, img_h = params["img_w"], params["img_h"]
+        blocks_per_band = img_w // BLOCK
+        band_cycles = (params["block_cycles"] + params["stream_extra_cycles"]) \
+            * blocks_per_band
+        band_bytes = BLOCK * img_w
+        encode = self.encode
+
+        def make_thread(env: Env):
+            ls = env.local_store
+            band_buf = [ls.alloc(band_bytes, f"band{i}") for i in range(2)]
+            comp_buf = ls.alloc(max(64, comp_bytes // (img_h // BLOCK)), "comp")
+            n_bands = img_h // BLOCK
+            comp_per_band = comp_bytes // n_bands
+            while True:
+                image = yield task_pop(queue)
+                if image is None:
+                    break
+                pix_base = pixels + image * img_bytes
+                comp_base = compressed + image * comp_bytes
+                if encode:
+                    # Double-buffer pixel bands in; small compressed puts out.
+                    yield dma_get(0, pix_base, band_bytes)
+                    for band in range(n_bands):
+                        parity = band & 1
+                        if band + 1 < n_bands:
+                            yield dma_get((band + 1) & 1,
+                                          pix_base + (band + 1) * band_bytes,
+                                          band_bytes)
+                        yield dma_wait(parity)
+                        yield local_load(band_buf[parity], band_bytes)
+                        yield compute(band_cycles,
+                                      l1_accesses=band_cycles // 2)
+                        yield local_store(comp_buf, comp_per_band)
+                        yield dma_put(2, comp_base + band * comp_per_band,
+                                      comp_per_band)
+                    yield dma_wait(2)
+                else:
+                    # Small compressed gets in; double-buffer pixel bands out.
+                    for band in range(n_bands):
+                        parity = band & 1
+                        yield dma_get(parity, comp_base + band * comp_per_band,
+                                      comp_per_band)
+                        yield dma_wait(parity)
+                        if band >= 2:
+                            yield dma_wait(2 + parity)
+                        yield local_load(comp_buf, comp_per_band)
+                        yield compute(band_cycles,
+                                      l1_accesses=band_cycles // 2)
+                        yield local_store(band_buf[parity], band_bytes)
+                        yield dma_put(2 + parity,
+                                      pix_base + band * band_bytes, band_bytes)
+                    yield dma_wait(2)
+                    yield dma_wait(3)
+            yield barrier_wait(finish)
+
+        return Program(self.name, [make_thread] * num_cores, arena)
+
+
+_COMMON = {
+    "img_w": 128,
+    "img_h": 128,
+    "compression": 10,
+    "stream_extra_cycles": 20,
+    "pfs": False,
+}
+
+
+@register
+class JpegEncodeWorkload(_JpegBase):
+    """JPEG encode: read-heavy image compression (module docstring)."""
+
+    incoherent_safe = True
+    name = "jpeg_enc"
+    encode = True
+    presets = {
+        "default": dict(_COMMON, images=48, block_cycles=400),
+        "small": dict(_COMMON, images=12, block_cycles=400),
+        "tiny": dict(_COMMON, images=3, block_cycles=200, img_w=64, img_h=64),
+    }
+
+
+@register
+class JpegDecodeWorkload(_JpegBase):
+    """JPEG decode: write-heavy decompression (module docstring)."""
+
+    incoherent_safe = True
+    name = "jpeg_dec"
+    encode = False
+    presets = {
+        "default": dict(_COMMON, images=48, block_cycles=400),
+        "small": dict(_COMMON, images=12, block_cycles=400),
+        "tiny": dict(_COMMON, images=3, block_cycles=200, img_w=64, img_h=64),
+    }

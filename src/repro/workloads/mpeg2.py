@@ -1,0 +1,398 @@
+"""MPEG-2 video encoder (Section 4.2, Figures 2-5, 8, 9).
+
+Parallelized at the macroblock level with dynamic task-queue assignment.
+Per macroblock the encoder reads the current 16x16 block (luma + 4:2:0
+chroma), a +/-16-pixel motion-search window from the reference frame,
+performs motion estimation / DCT / quantization / reconstruction fused
+into one pass (the *stream-programmed* structure of Section 6), and
+writes the reconstructed macroblock — an output-only stream that suffers
+superfluous write-allocate refills on the cache model (fixed by PFS,
+Figure 8) — plus a small bitstream.
+
+Variants:
+
+* ``structure="fused"`` (default) — the stream-optimized code of Figure 9
+  ("...we execute all tasks on a block of a frame before moving to the
+  next block"), with a slightly higher I-cache miss rate (the fused loop
+  body overflows the 16 KB I-cache; Section 6),
+* ``structure="original"`` — the original parallel code from the ALP
+  suite [28]: each kernel (motion estimation, DCT, quantization,
+  reconstruction, VLC) sweeps the *whole frame* before the next starts,
+  streaming frame-sized temporaries between passes with barriers.
+
+The streaming-memory variant DMAs macroblocks and window columns with
+strided transfers and double-buffers the next macroblock during the
+current one's computation — the macroscopic prefetching that makes it 9%
+faster at 6.4 GHz (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.core.ops import (
+    barrier_wait,
+    compute,
+    dma_get,
+    dma_put,
+    dma_wait,
+    icache_miss,
+    load,
+    local_load,
+    local_store,
+    pfs_store,
+    store,
+    task_pop,
+)
+from repro.core.sync import Barrier, TaskQueue
+from repro.workloads.base import (
+    Arena,
+    Env,
+    Program,
+    Workload,
+    register,
+)
+
+MB = 16  # macroblock edge, pixels
+
+
+@register
+class Mpeg2Workload(Workload):
+    """MPEG-2 encoder: macroblock task queue, fused or per-kernel
+    structure, PFS and streaming variants (see module docstring)."""
+
+    name = "mpeg2"
+    presets = {
+        "default": {
+            "width": 352,
+            "height": 288,
+            "frames": 3,
+            "mb_cycles": 40000,
+            "structure": "fused",
+            "pfs": False,
+            "icache_miss_per_mb": 1,
+            "search_range": 16,
+        },
+        "small": {
+            "width": 176,
+            "height": 144,
+            "frames": 3,
+            "mb_cycles": 40000,
+            "structure": "fused",
+            "pfs": False,
+            "icache_miss_per_mb": 1,
+            "search_range": 16,
+        },
+        "tiny": {
+            "width": 64,
+            "height": 48,
+            "frames": 2,
+            "mb_cycles": 4000,
+            "structure": "fused",
+            "pfs": False,
+            "icache_miss_per_mb": 1,
+            "search_range": 16,
+        },
+    }
+
+    def _geometry(self, params: dict):
+        width, height = params["width"], params["height"]
+        if width % MB or height % MB:
+            raise ValueError(f"frame {width}x{height} not macroblock aligned")
+        return width // MB, height // MB
+
+    def _frames_layout(self, arena: Arena, params: dict):
+        """Per-frame buffers.
+
+        Every input frame is a *distinct* buffer (reading a video stream
+        is compulsory traffic — reusing one buffer would let the L2 serve
+        frames 2..N for free), and the reference for frame *f* is the
+        reconstruction of frame *f-1*, ping-ponged between two buffers.
+        Returns (curs, refs, recons, bits) with one entry per frame.
+        """
+        width, height = params["width"], params["height"]
+        frame_bytes = width * height * 3 // 2
+        curs = [
+            arena.alloc(frame_bytes, f"current{f}")
+            for f in range(params["frames"])
+        ]
+        recon_a = arena.alloc(frame_bytes, "recon_a")
+        recon_b = arena.alloc(frame_bytes, "recon_b")
+        initial_ref = arena.alloc(frame_bytes, "initial_ref")
+        recons = [(recon_a, recon_b)[f % 2] for f in range(params["frames"])]
+        refs = [initial_ref] + recons[:-1]
+        mbs = (width // MB) * (height // MB)
+        bits = arena.alloc(mbs * 8 * params["frames"], "bitstream")
+        return curs, refs, recons, bits
+
+    # ------------------------------------------------------------------
+    # Cache-coherent variants
+    # ------------------------------------------------------------------
+
+    def _build_cached(self, config: MachineConfig, params: dict) -> Program:
+        if params["structure"] == "fused":
+            return self._build_cached_fused(config, params)
+        if params["structure"] == "original":
+            return self._build_cached_original(config, params)
+        raise ValueError(f"unknown structure {params['structure']!r}")
+
+    def _mb_loads_cached(self, params: dict, cur: int, ref: int,
+                         mbx: int, mby: int):
+        """Loads for one macroblock: current block plus the search window."""
+        width = params["width"]
+        rng = params["search_range"]
+        luma = width * params["height"]
+        # Current macroblock: 16 luma rows + 8 interleaved-chroma rows of 16 B.
+        for r in range(MB):
+            yield load(cur + (mby * MB + r) * width + mbx * MB, MB, accesses=4)
+        for r in range(MB // 2):
+            yield load(cur + luma + (mby * MB // 2 + r) * width + mbx * MB,
+                       MB, accesses=4)
+        # Reference window rows: (16+2*rng) wide, clamped to the frame.
+        win_w = MB + 2 * rng
+        x0 = min(max(0, mbx * MB - rng), width - win_w)
+        for r in range(-rng, MB + rng):
+            ry = min(max(0, mby * MB + r), params["height"] - 1)
+            yield load(ref + ry * width + x0, win_w, accesses=win_w // 4)
+
+    def _mb_stores_cached(self, params: dict, recon: int, bits: int,
+                          mbx: int, mby: int, store_op):
+        width = params["width"]
+        luma = width * params["height"]
+        mbs_x = width // MB
+        for r in range(MB):
+            yield store_op(recon + (mby * MB + r) * width + mbx * MB,
+                           MB, accesses=4)
+        for r in range(MB // 2):
+            yield store_op(recon + luma + (mby * MB // 2 + r) * width + mbx * MB,
+                           MB, accesses=4)
+        # Small bitstream append (sequential, shared region written in turns).
+        yield store(bits + (mby * mbs_x + mbx) * 8, 8, accesses=2)
+
+    @staticmethod
+    def _segments(mbs_x: int, mbs_y: int) -> list[tuple[int, int, int]]:
+        """Task-queue granules: half-row segments of adjacent macroblocks.
+
+        Assigning *chunks* of adjacent macroblocks preserves the
+        horizontal search-window overlap inside one core's cache (the
+        locality-aware scheduling the paper applies to both models);
+        single-macroblock tasks would scatter neighbours across cores and
+        re-fetch the whole window per macroblock.
+        """
+        half = max(2, mbs_x // 4)
+        segments = []
+        for y in range(mbs_y):
+            for x0 in range(0, mbs_x, half):
+                segments.append((y, x0, min(mbs_x, x0 + half)))
+        return segments
+
+    def _build_cached_fused(self, config: MachineConfig, params: dict) -> Program:
+        arena = Arena()
+        curs, refs, recons, bits = self._frames_layout(arena, params)
+        mbs_x, mbs_y = self._geometry(params)
+        num_cores = config.num_cores
+        frame_barrier = Barrier(num_cores, "mpeg2.frame")
+        segments = self._segments(mbs_x, mbs_y)
+        queues = [
+            TaskQueue(list(segments), name=f"mpeg2.f{f}")
+            for f in range(params["frames"])
+        ]
+        store_op = pfs_store if params["pfs"] else store
+        imiss = params["icache_miss_per_mb"]
+        mb_cycles = params["mb_cycles"]
+        n_mbs = mbs_x * mbs_y
+
+        def make_thread(env: Env):
+            for frame, queue in enumerate(queues):
+                cur, ref, recon = curs[frame], refs[frame], recons[frame]
+                bits_base = bits + frame * n_mbs * 8
+                while True:
+                    task = yield task_pop(queue)
+                    if task is None:
+                        break
+                    mby, x_first, x_last = task
+                    for mbx in range(x_first, x_last):
+                        yield from self._mb_loads_cached(
+                            params, cur, ref, mbx, mby)
+                        # The fused kernel: ME + DCT + quant + reconstruct
+                        # on stack-resident temporaries (contracted arrays).
+                        yield compute(mb_cycles, l1_accesses=mb_cycles // 2)
+                        if imiss:
+                            yield icache_miss(imiss)
+                        yield from self._mb_stores_cached(
+                            params, recon, bits_base, mbx, mby, store_op)
+                yield barrier_wait(frame_barrier)
+
+        return Program("mpeg2", [make_thread] * num_cores, arena)
+
+    def _build_cached_original(self, config: MachineConfig, params: dict) -> Program:
+        """Kernel-per-frame structure: whole-frame passes with temporaries."""
+        arena = Arena()
+        curs, refs, recons, bits = self._frames_layout(arena, params)
+        width, height = params["width"], params["height"]
+        luma = width * height
+        # Frame-sized 16-bit temporaries between kernels (predicted block,
+        # DCT coefficients, quantized coefficients).
+        pred = arena.alloc(2 * luma, "pred")
+        coeff = arena.alloc(2 * luma, "coeff")
+        qcoeff = arena.alloc(2 * luma, "qcoeff")
+        mbs_x, mbs_y = self._geometry(params)
+        num_cores = config.num_cores
+        barrier = Barrier(num_cores, "mpeg2.pass")
+        mb_cycles = params["mb_cycles"]
+        #: (reads, writes, fraction of the per-MB compute) for each kernel.
+        kernels = [
+            (("cur+ref",), ("pred",), 0.45),   # motion estimation
+            (("cur", "pred"), ("coeff",), 0.20),
+            (("coeff",), ("qcoeff",), 0.10),   # quantization
+            (("qcoeff", "pred"), ("recon",), 0.15),
+            (("qcoeff",), ("bits",), 0.10),    # VLC
+        ]
+        regions = {"pred": (pred, 2), "coeff": (coeff, 2),
+                   "qcoeff": (qcoeff, 2)}
+
+        def make_thread(env: Env):
+            core = env.core_id
+            my_rows = range(core, mbs_y, num_cores)
+            n_mbs = mbs_x * mbs_y
+            for frame in range(params["frames"]):
+                cur, ref, recon = curs[frame], refs[frame], recons[frame]
+                # Thread-local view: the shared `regions` table plus the
+                # frame's own buffers.
+                frame_regions = dict(regions,
+                                     cur=(cur, 1), recon=(recon, 1))
+                bits_base = bits + frame * n_mbs * 8
+                for reads, writes, frac in kernels:
+                    cycles_mb = max(1, int(mb_cycles * frac))
+                    for mby in my_rows:
+                        for mbx in range(mbs_x):
+                            for tag in reads:
+                                if tag == "cur+ref":
+                                    gen = self._mb_loads_cached(
+                                        params, cur, ref, mbx, mby)
+                                    yield from gen
+                                else:
+                                    base, scale = frame_regions[tag]
+                                    for r in range(MB):
+                                        addr = base + scale * (
+                                            (mby * MB + r) * width + mbx * MB)
+                                        yield load(addr, scale * MB,
+                                                   accesses=scale * 4)
+                            yield compute(cycles_mb, l1_accesses=cycles_mb // 2)
+                            for tag in writes:
+                                if tag == "bits":
+                                    yield store(
+                                        bits_base + (mby * mbs_x + mbx) * 8,
+                                        8, accesses=2)
+                                    continue
+                                base, scale = frame_regions[tag]
+                                for r in range(MB):
+                                    addr = base + scale * (
+                                        (mby * MB + r) * width + mbx * MB)
+                                    yield store(addr, scale * MB,
+                                                accesses=scale * 4)
+                    yield barrier_wait(barrier)
+
+        return Program("mpeg2", [make_thread] * num_cores, arena)
+
+    # ------------------------------------------------------------------
+    # Streaming variant
+    # ------------------------------------------------------------------
+
+    def _build_streaming(self, config: MachineConfig, params: dict) -> Program:
+        arena = Arena()
+        curs, refs, recons, bits = self._frames_layout(arena, params)
+        mbs_x, mbs_y = self._geometry(params)
+        width = params["width"]
+        luma = width * params["height"]
+        num_cores = config.num_cores
+        frame_barrier = Barrier(num_cores, "mpeg2.frame")
+        segments = self._segments(mbs_x, mbs_y)
+        queues = [
+            TaskQueue(list(segments), name=f"mpeg2.f{f}")
+            for f in range(params["frames"])
+        ]
+        rng = params["search_range"]
+        mb_cycles = params["mb_cycles"]
+        win_h = MB + 2 * rng
+        mb_luma_bytes = MB * MB
+        mb_chroma_bytes = MB * MB // 2
+        col_bytes = win_h * MB          # one new 16-wide window column
+        out_bytes = mb_luma_bytes + mb_chroma_bytes
+
+        def fetch_mb(cur: int, ref: int, tag: int, mbx: int, mby: int,
+                     prime: bool):
+            """Strided DMA: current MB rows, chroma rows, and the reference
+            window — the full window when ``prime`` (first MB of a
+            segment), otherwise just the new 16-wide column (the software
+            sliding window that gives streaming its minimal traffic)."""
+            yield dma_get(tag, cur + (mby * MB) * width + mbx * MB,
+                          mb_luma_bytes, stride=width, block=MB)
+            yield dma_get(tag, cur + luma + (mby * MB // 2) * width + mbx * MB,
+                          mb_chroma_bytes, stride=width, block=MB)
+            y0 = min(max(0, mby * MB - rng), params["height"] - win_h)
+            if prime:
+                win_w = MB + 2 * rng
+                x0 = min(max(0, mbx * MB - rng), width - win_w)
+                yield dma_get(tag, ref + y0 * width + x0,
+                              win_h * win_w, stride=width, block=win_w)
+            else:
+                x0 = min(max(0, mbx * MB + rng), width - MB)
+                yield dma_get(tag, ref + y0 * width + x0,
+                              col_bytes, stride=width, block=MB)
+
+        def make_thread(env: Env):
+            ls = env.local_store
+            # Double-buffered input (current MB + window column) and output.
+            in_bytes = mb_luma_bytes + mb_chroma_bytes + col_bytes
+            in_buf = [ls.alloc(in_bytes, f"in{i}") for i in range(2)]
+            out_buf = [ls.alloc(out_bytes, f"out{i}") for i in range(2)]
+            window = ls.alloc(win_h * 2 * rng, "window")
+            for frame, queue in enumerate(queues):
+                cur, ref, recon = curs[frame], refs[frame], recons[frame]
+                bits_base = bits + frame * mbs_x * mbs_y * 8
+                segment = yield task_pop(queue)
+                mbs: list[tuple[int, int, bool]] = []
+
+                def extend(seg):
+                    mby, x_first, x_last = seg
+                    mbs.extend(
+                        (x, mby, x == x_first) for x in range(x_first, x_last)
+                    )
+
+                if segment is not None:
+                    extend(segment)
+                    yield from fetch_mb(cur, ref, 0, *mbs[0])
+                index = 0
+                while index < len(mbs):
+                    parity = index & 1
+                    if index + 1 >= len(mbs):
+                        next_segment = yield task_pop(queue)
+                        if next_segment is not None:
+                            extend(next_segment)
+                    if index + 1 < len(mbs):
+                        # Macroscopic prefetch of the next macroblock.
+                        yield from fetch_mb(cur, ref, (index + 1) & 1,
+                                            *mbs[index + 1])
+                    yield dma_wait(parity)
+                    if index >= 2:
+                        yield dma_wait(4 + parity)
+                    yield local_load(in_buf[parity], in_bytes)
+                    yield local_load(window, win_h * 2 * rng,
+                                     accesses=win_h * rng // 2)
+                    yield compute(mb_cycles, l1_accesses=mb_cycles // 2)
+                    yield local_store(out_buf[parity], out_bytes)
+                    mbx, mby, _ = mbs[index]
+                    yield dma_put(4 + parity,
+                                  recon + (mby * MB) * width + mbx * MB,
+                                  mb_luma_bytes, stride=width, block=MB)
+                    yield dma_put(4 + parity,
+                                  recon + luma + (mby * MB // 2) * width + mbx * MB,
+                                  mb_chroma_bytes, stride=width, block=MB)
+                    yield dma_put(4 + parity,
+                                  bits_base + (mby * mbs_x + mbx) * 8, 8)
+                    index += 1
+                yield dma_wait(4)
+                yield dma_wait(5)
+                yield barrier_wait(frame_barrier)
+
+        return Program("mpeg2", [make_thread] * num_cores, arena)

@@ -1,0 +1,63 @@
+"""The python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_prints_workloads(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "fir" in out and "mpeg2" in out and len(out) == 11
+
+
+def test_run_prints_measurements(capsys):
+    assert main(["run", "fir", "--model", "str", "--cores", "2",
+                 "--preset", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "fir/str" in out
+    assert "breakdown" in out
+    assert "traffic" in out
+    assert "energy" in out
+
+
+def test_run_with_prefetch_flag(capsys):
+    assert main(["run", "merge", "--cores", "2", "--prefetch",
+                 "--preset", "tiny"]) == 0
+    assert "merge/cc" in capsys.readouterr().out
+
+
+def test_experiment_command(capsys):
+    assert main(["figure8", "--preset", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8" in out
+    assert "CC+PFS" in out
+
+
+def test_every_experiment_registered():
+    assert set(EXPERIMENTS) == {
+        "scorecard", "table3", "figure2", "figure3", "figure4", "figure5",
+        "figure6", "figure7", "figure8", "figure9", "figure10",
+    }
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "nonesuch"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_compare_includes_applicable_models(capsys):
+    assert main(["compare", "fir", "--cores", "4", "--preset", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "cc" in out and "str" in out and "icc" in out
+
+
+def test_compare_skips_incoherent_for_sharing_apps(capsys):
+    assert main(["compare", "h264", "--cores", "4", "--preset", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "icc" not in out

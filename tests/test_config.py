@@ -1,0 +1,162 @@
+"""MachineConfig and its sub-configurations (Table 2 defaults)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    InterconnectConfig,
+    MachineConfig,
+    MemoryModel,
+    PrefetcherConfig,
+    StreamConfig,
+    WritePolicy,
+)
+from repro.units import KIB
+
+
+class TestTable2Defaults:
+    """The default configuration must match the bolded Table 2 values."""
+
+    def test_l1_dcache(self):
+        cfg = MachineConfig()
+        assert cfg.l1.capacity_bytes == 32 * KIB
+        assert cfg.l1.associativity == 2
+        assert cfg.l1.line_bytes == 32
+        assert cfg.l1.write_policy is WritePolicy.WRITE_ALLOCATE
+
+    def test_icache(self):
+        cfg = MachineConfig()
+        assert cfg.icache.capacity_bytes == 16 * KIB
+        assert cfg.icache.associativity == 2
+
+    def test_streaming_storage_split(self):
+        """Streaming: 24 KB local store + 8 KB cache = the 32 KB budget."""
+        cfg = MachineConfig()
+        assert cfg.stream.local_store_bytes == 24 * KIB
+        assert cfg.stream_l1.capacity_bytes == 8 * KIB
+        assert (cfg.stream.local_store_bytes + cfg.stream_l1.capacity_bytes
+                == cfg.l1.capacity_bytes)
+
+    def test_l2(self):
+        cfg = MachineConfig()
+        assert cfg.l2.capacity_bytes == 512 * KIB
+        assert cfg.l2.associativity == 16
+        assert cfg.l2_latency_ns == 2.2
+
+    def test_dram_channel(self):
+        cfg = MachineConfig()
+        assert cfg.dram.bandwidth_gbps == 6.4
+        assert cfg.dram.latency_ns == 70.0
+
+    def test_core(self):
+        cfg = MachineConfig()
+        assert cfg.core.clock_ghz == 0.8
+        assert cfg.core.issue_width == 3
+        assert cfg.core.load_store_slots == 1
+
+    def test_interconnect(self):
+        cfg = MachineConfig()
+        assert cfg.interconnect.cluster_size == 4
+        assert cfg.interconnect.bus_width_bytes == 32
+        assert cfg.interconnect.crossbar_width_bytes == 16
+
+    def test_dma_engine(self):
+        cfg = MachineConfig()
+        assert cfg.stream.dma_max_outstanding == 16
+        assert cfg.stream.dma_granule_bytes == 32
+
+    def test_prefetcher(self):
+        cfg = MachineConfig()
+        assert not cfg.prefetch.enabled
+        assert cfg.prefetch.num_streams == 4
+        assert cfg.prefetch.history_size == 8
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        c = CacheConfig(capacity_bytes=32 * KIB, associativity=2)
+        assert c.num_lines == 1024
+        assert c.num_sets == 512
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(capacity_bytes=0, associativity=1),
+        dict(capacity_bytes=1024, associativity=0),
+        dict(capacity_bytes=1024, associativity=1, line_bytes=33),
+        dict(capacity_bytes=1000, associativity=1),          # not line multiple
+        dict(capacity_bytes=96 * 32, associativity=1),       # sets not pow2
+    ])
+    def test_invalid_geometry_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheConfig(**kwargs)
+
+
+class TestValidation:
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_cores=0)
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(clock_ghz=0)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            DramConfig(bandwidth_gbps=-1)
+
+    def test_bad_prefetch_depth_rejected(self):
+        with pytest.raises(ValueError):
+            PrefetcherConfig(depth=0)
+
+    def test_bad_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            InterconnectConfig(cluster_size=0)
+
+    def test_bad_dma_granule_rejected(self):
+        with pytest.raises(ValueError):
+            StreamConfig(dma_granule_bytes=48)
+
+
+class TestDerivedAndBuilders:
+    def test_num_clusters_rounds_up(self):
+        assert MachineConfig(num_cores=1).num_clusters == 1
+        assert MachineConfig(num_cores=4).num_clusters == 1
+        assert MachineConfig(num_cores=5).num_clusters == 2
+        assert MachineConfig(num_cores=16).num_clusters == 4
+
+    def test_with_builders_do_not_mutate(self):
+        cfg = MachineConfig()
+        cfg2 = cfg.with_clock(3.2).with_bandwidth(12.8).with_cores(16)
+        assert cfg.core.clock_ghz == 0.8
+        assert cfg2.core.clock_ghz == 3.2
+        assert cfg2.dram.bandwidth_gbps == 12.8
+        assert cfg2.num_cores == 16
+
+    def test_with_prefetch(self):
+        cfg = MachineConfig().with_prefetch(depth=6)
+        assert cfg.prefetch.enabled
+        assert cfg.prefetch.depth == 6
+
+    def test_with_model(self):
+        assert MachineConfig().with_model("str").model is MemoryModel.STREAMING
+        assert MachineConfig().with_model("cc").model is MemoryModel.CACHE_COHERENT
+
+    def test_config_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MachineConfig().num_cores = 4
+
+
+class TestMemoryModel:
+    def test_parse_strings(self):
+        assert MemoryModel.parse("cc") is MemoryModel.CACHE_COHERENT
+        assert MemoryModel.parse("str") is MemoryModel.STREAMING
+
+    def test_parse_passthrough(self):
+        assert MemoryModel.parse(MemoryModel.STREAMING) is MemoryModel.STREAMING
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel.parse("hybrid")

@@ -1,0 +1,76 @@
+"""Configuration serialization (to_dict / from_dict / save / load)."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    CacheConfig,
+    CoherenceKind,
+    MachineConfig,
+    MemoryModel,
+    WritePolicy,
+)
+
+
+class TestRoundTrip:
+    def test_default_round_trips(self):
+        cfg = MachineConfig()
+        assert MachineConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_customized_round_trips(self):
+        cfg = (MachineConfig(num_cores=16,
+                             coherence=CoherenceKind.DIRECTORY)
+               .with_model("str").with_clock(3.2).with_bandwidth(12.8)
+               .with_prefetch(depth=8))
+        cfg = cfg.with_(l1=CacheConfig(
+            capacity_bytes=64 * 1024, associativity=4,
+            write_policy=WritePolicy.NO_WRITE_ALLOCATE))
+        assert MachineConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_dict_is_json_serializable(self):
+        import json
+
+        text = json.dumps(MachineConfig().to_dict())
+        assert "cache-coherent" not in text    # enums stored as values
+        assert '"cc"' in text
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "machine.json"
+        cfg = MachineConfig(num_cores=4).with_model("icc")
+        cfg.save(path)
+        loaded = MachineConfig.load(path)
+        assert loaded == cfg
+        assert loaded.model is MemoryModel.INCOHERENT
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 32), st.sampled_from([0.8, 1.6, 3.2, 6.4]),
+           st.sampled_from(["cc", "str", "icc"]),
+           st.booleans())
+    def test_round_trip_property(self, cores, clock, model, prefetch):
+        cfg = MachineConfig(num_cores=cores).with_model(model) \
+            .with_clock(clock)
+        if prefetch:
+            cfg = cfg.with_prefetch()
+        assert MachineConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestValidation:
+    def test_unknown_key_rejected(self):
+        data = MachineConfig().to_dict()
+        data["turbo"] = True
+        with pytest.raises(ValueError, match="turbo"):
+            MachineConfig.from_dict(data)
+
+    def test_invalid_nested_values_rejected(self):
+        data = MachineConfig().to_dict()
+        data["core"]["clock_ghz"] = -1
+        with pytest.raises(ValueError):
+            MachineConfig.from_dict(data)
+
+    def test_partial_dict_uses_defaults(self):
+        cfg = MachineConfig.from_dict({"num_cores": 12})
+        assert cfg.num_cores == 12
+        assert cfg.l2 == MachineConfig().l2

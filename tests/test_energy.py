@@ -1,0 +1,84 @@
+"""Energy model: CACTI-like SRAM energies and full-system accounting."""
+
+import pytest
+
+from repro import MachineConfig, run_workload
+from repro.energy.cacti import sram_energy
+from repro.units import KIB
+
+
+class TestSramEnergy:
+    def test_energy_grows_with_capacity(self):
+        small = sram_energy(8 * KIB, 2)
+        big = sram_energy(512 * KIB, 2)
+        assert big.read_j > small.read_j
+        assert big.leakage_w > small.leakage_w
+
+    def test_tag_overhead_grows_with_associativity(self):
+        direct = sram_energy(32 * KIB, 1)
+        assoc16 = sram_energy(32 * KIB, 16)
+        assert assoc16.read_j > direct.read_j
+        assert assoc16.tag_j == pytest.approx(16 * direct.tag_j)
+
+    def test_untagged_array_cheaper(self):
+        """The local store has no tags (Section 2.3)."""
+        cache = sram_energy(24 * KIB, 2, tagged=True)
+        local = sram_energy(24 * KIB, 2, tagged=False)
+        assert local.read_j < cache.read_j
+        assert local.tag_j == 0.0
+
+    def test_plausible_90nm_magnitudes(self):
+        l1 = sram_energy(32 * KIB, 2)
+        l2 = sram_energy(512 * KIB, 16)
+        assert 5e-12 < l1.read_j < 100e-12
+        assert 30e-12 < l2.read_j < 500e-12
+        assert l2.read_j > 3 * l1.read_j
+
+    def test_writes_slightly_cheaper(self):
+        e = sram_energy(32 * KIB, 2)
+        assert e.write_j < e.read_j
+
+    @pytest.mark.parametrize("cap,assoc", [(0, 1), (1024, 0)])
+    def test_invalid_geometry_rejected(self, cap, assoc):
+        with pytest.raises(ValueError):
+            sram_energy(cap, assoc)
+
+
+class TestSystemEnergy:
+    def test_energy_scales_with_work(self):
+        small = run_workload("fir", cores=4, preset="tiny")
+        # Same machine, 16x the data.
+        big = run_workload("fir", cores=4, preset="tiny",
+                           overrides={"n_samples": 1 << 16})
+        assert big.energy.total > 4 * small.energy.total
+
+    def test_dram_energy_tracks_traffic(self):
+        base = run_workload("fir", cores=4, preset="tiny")
+        pfs = run_workload("fir", cores=4, preset="tiny",
+                           overrides={"pfs": True})
+        assert pfs.traffic.total_bytes < base.traffic.total_bytes
+        assert pfs.energy.dram < base.energy.dram
+
+    def test_dram_dominates_model_difference_not_tags(self):
+        """Section 5.2: the CC-vs-STR energy gap comes from DRAM, and the
+        local store's tag-lookup savings are a small effect."""
+        cc = run_workload("jpeg_dec", "cc", cores=4, preset="tiny")
+        st = run_workload("jpeg_dec", "str", cores=4, preset="tiny")
+        dram_gap = abs(cc.energy.dram - st.energy.dram)
+        first_level_gap = abs(
+            cc.energy.dcache - (st.energy.dcache + st.energy.local_store)
+        )
+        assert dram_gap > first_level_gap
+
+    def test_total_is_sum_of_components(self):
+        r = run_workload("fir", cores=2, preset="tiny")
+        assert r.energy.total == pytest.approx(
+            sum(r.energy.as_dict().values()))
+
+    def test_idle_machine_pays_leakage_only(self):
+        """A longer run with the same work costs more static energy."""
+        fast = run_workload("depth", cores=4, preset="tiny", clock_ghz=6.4)
+        slow = run_workload("depth", cores=4, preset="tiny", clock_ghz=0.8)
+        # Same instructions, longer duration: leakage makes slow cost more.
+        assert slow.exec_time_fs > fast.exec_time_fs
+        assert slow.energy.total > fast.energy.total

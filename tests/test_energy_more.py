@@ -1,0 +1,70 @@
+"""Energy model structure across the full configuration space."""
+
+import pytest
+
+from repro import EnergyParams, MachineConfig, run_workload
+from repro.energy.cacti import sram_energy
+
+
+class TestFigure4Structure:
+    def test_energy_not_always_better_with_more_cores(self):
+        """Section 5.2: 'energy consumption does not always improve with
+        more cores, since the amount of hardware increases'."""
+        results = {c: run_workload("depth", cores=c, preset="tiny")
+                   for c in (1, 16)}
+        # 16 cores finish faster but pay 16x leakage: the energy ratio is
+        # far from the 16x performance ratio.
+        perf_ratio = results[1].exec_time_fs / results[16].exec_time_fs
+        energy_ratio = results[1].energy.total / results[16].energy.total
+        assert perf_ratio > 2.5 * energy_ratio
+
+    def test_faster_clock_pays_more_core_energy_per_second(self):
+        slow = run_workload("depth", cores=2, clock_ghz=0.8, preset="tiny")
+        fast = run_workload("depth", cores=2, clock_ghz=6.4, preset="tiny")
+        # Same instruction count either way.
+        assert fast.instructions == slow.instructions
+        # Dynamic core energy is instruction-dominated: roughly equal.
+        assert fast.energy.core == pytest.approx(slow.energy.core, rel=0.25)
+
+    def test_icache_energy_tracks_instructions(self):
+        one = run_workload("fir", cores=2, preset="tiny")
+        two = run_workload("fir", cores=2, preset="tiny",
+                           overrides={"n_samples": 1 << 13})
+        assert two.energy.icache == pytest.approx(2 * one.energy.icache,
+                                                  rel=0.15)
+
+    def test_network_energy_tracks_traffic(self):
+        base = run_workload("fir", cores=4, preset="tiny")
+        pfs = run_workload("fir", cores=4, preset="tiny",
+                           overrides={"pfs": True})
+        assert pfs.energy.network < base.energy.network
+
+
+class TestCactiShape:
+    @pytest.mark.parametrize("kib", [4, 8, 16, 32, 64, 128, 256, 512])
+    def test_monotone_in_capacity(self, kib):
+        smaller = sram_energy(kib * 512, 2)
+        larger = sram_energy(kib * 1024, 2)
+        assert larger.read_j > smaller.read_j
+        assert larger.leakage_w > smaller.leakage_w
+
+    def test_sqrt_scaling(self):
+        """4x the capacity costs ~2x the array energy."""
+        small = sram_energy(32 * 1024, 1)
+        big = sram_energy(128 * 1024, 1)
+        ratio = (big.read_j - 1.5e-12) / (small.read_j - 1.5e-12)
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+
+class TestCustomParams:
+    def test_zero_background_power(self):
+        from repro.core.system import CmpSystem
+        from repro.workloads import get_workload
+
+        cfg = MachineConfig(num_cores=2)
+        params = EnergyParams(dram_background_mw=0.0)
+        system = CmpSystem(cfg, get_workload("fir").build(
+            "cc", cfg, preset="tiny"), energy_params=params)
+        r = system.run()
+        base = run_workload("fir", cores=2, preset="tiny")
+        assert r.energy.dram < base.energy.dram

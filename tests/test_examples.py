@@ -1,0 +1,119 @@
+"""Every shipped example must run end to end.
+
+The examples exercise the public API at the ``small`` preset; here we
+run them in-process (monkey-patching their scale knobs down where they
+expose them) so the suite stays fast while still executing every line.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_complete():
+    names = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+    assert names == [
+        "cache_enhancements",
+        "custom_workload",
+        "memory_model_comparison",
+        "quickstart",
+        "stream_programming",
+        "trace_analysis",
+    ]
+
+
+def test_quickstart_runs(capsys, monkeypatch):
+    module = load_example("quickstart")
+    monkeypatch.setattr(sys, "argv", ["quickstart.py", "fir", "4"])
+    # Shrink: patch run_workload to the tiny preset.
+    original = module.run_workload
+    monkeypatch.setattr(
+        module, "run_workload",
+        lambda *a, **kw: original(*a, **{**kw, "preset": "tiny"}))
+    module.main()
+    out = capsys.readouterr().out
+    assert "cc" in out and "str" in out
+    assert "execution time" in out
+
+
+def test_quickstart_rejects_unknown_workload(monkeypatch):
+    module = load_example("quickstart")
+    monkeypatch.setattr(sys, "argv", ["quickstart.py", "nonesuch"])
+    with pytest.raises(SystemExit):
+        module.main()
+
+
+def test_memory_model_comparison_runs(capsys, monkeypatch):
+    module = load_example("memory_model_comparison")
+    monkeypatch.setattr(sys, "argv", ["x", "fir"])
+    from repro.harness import Runner
+    monkeypatch.setattr(module, "Runner", lambda preset: Runner(preset="tiny"))
+    module.main()
+    out = capsys.readouterr().out
+    assert "fir" in out
+    assert "16" in out
+
+
+def test_custom_workload_runs(capsys):
+    module = load_example("custom_workload")
+    module.main()
+    out = capsys.readouterr().out
+    assert "histogram" in out
+    assert "16 cores" in out
+
+
+def test_custom_workload_program_is_valid():
+    """The example's program passes the same discipline as the suite."""
+    module = load_example("custom_workload")
+    from repro import MachineConfig
+    from repro.core.system import run_program
+
+    for model in ("cc", "str"):
+        config = MachineConfig(num_cores=4).with_model(model)
+        result = run_program(config, module.build_histogram(model, 4))
+        # Every sample read exactly once (256 KB), compulsory.
+        assert result.traffic.read_bytes >= module.N_ITEMS * 4
+
+
+def test_cache_enhancements_runs(capsys, monkeypatch):
+    module = load_example("cache_enhancements")
+    original = module.run_workload
+    monkeypatch.setattr(
+        module, "run_workload",
+        lambda *a, **kw: original(*a, **{**kw, "preset": "tiny"}))
+    module.main()
+    out = capsys.readouterr().out
+    assert "prefetch" in out
+    assert "PFS" in out
+
+
+def test_stream_programming_runs(capsys, monkeypatch):
+    module = load_example("stream_programming")
+    original = module.run_workload
+    monkeypatch.setattr(
+        module, "run_workload",
+        lambda *a, **kw: original(*a, **{**kw, "preset": "tiny"}))
+    module.main()
+    out = capsys.readouterr().out
+    assert "speedup" in out
+
+
+def test_trace_analysis_runs(capsys):
+    module = load_example("trace_analysis")
+    module.main()
+    out = capsys.readouterr().out
+    assert "ideal LRU hit rate" in out
+    assert "core activity" in out
+    assert "mpeg2" in out

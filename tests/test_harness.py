@@ -1,0 +1,208 @@
+"""Experiment harness: runner memoization and per-figure structure."""
+
+import pytest
+
+from repro.harness import (
+    Runner,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    format_table,
+    table3,
+)
+from repro.harness.experiments import ALL_WORKLOADS, TRAFFIC_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(preset="tiny")
+
+
+class TestRunner:
+    def test_memoizes_identical_runs(self, runner):
+        before = runner.runs
+        a = runner.run("fir", cores=2)
+        mid = runner.runs
+        b = runner.run("fir", cores=2)
+        assert runner.runs == mid
+        assert mid >= before + 1
+        assert a is b
+
+    def test_distinguishes_overrides(self, runner):
+        a = runner.run("fir", cores=2)
+        b = runner.run("fir", cores=2, overrides={"pfs": True})
+        assert a is not b
+
+    def test_baseline_is_one_cached_core(self, runner):
+        base = runner.baseline("fir")
+        assert base.num_cores == 1
+        assert base.model == "cc"
+
+
+class TestExperimentResult:
+    def test_select_and_one(self, runner):
+        res = figure8(runner, workloads=["fir"])
+        rows = res.select(app="fir")
+        assert len(rows) == 3
+        row = res.one(app="fir", config="CC+PFS")
+        assert row["read"] < res.one(app="fir", config="CC")["read"]
+        with pytest.raises(LookupError):
+            res.one(app="fir")
+
+    def test_to_text_renders(self, runner):
+        text = figure8(runner, workloads=["fir"]).to_text()
+        assert "CC+PFS" in text
+        assert "Figure 8" in text
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1.23456], ["yy", 10]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+
+class TestTable3:
+    def test_covers_all_eleven_apps(self, runner):
+        res = table3(runner)
+        assert res.column("app") == ALL_WORKLOADS
+        assert len(ALL_WORKLOADS) == 11
+
+    def test_metrics_in_sane_ranges(self, runner):
+        for row in table3(runner).rows:
+            assert 0 <= row["l1_miss_rate_pct"] <= 100
+            assert 0 <= row["l2_miss_rate_pct"] <= 100
+            assert row["offchip_mb_s"] >= 0
+
+
+class TestFigureStructure:
+    def test_figure2_grid(self, runner):
+        res = figure2(runner, workloads=["fir"], core_counts=(2, 4))
+        assert len(res.rows) == 4   # 2 counts x 2 models
+        for row in res.rows:
+            total = row["useful"] + row["sync"] + row["load"] + row["store"]
+            assert total == pytest.approx(row["normalized_time"], rel=1e-9)
+
+    def test_figure2_normalized_to_sequential(self, runner):
+        res = figure2(runner, workloads=["depth"], core_counts=(2,))
+        for row in res.rows:
+            assert 0 < row["normalized_time"] < 1.0
+
+    def test_figure3_traffic_normalized(self, runner):
+        res = figure3(runner, workloads=["fir"])
+        cc = res.one(app="fir", model="cc")
+        assert cc["total"] == pytest.approx(cc["read"] + cc["write"])
+        assert cc["total"] == pytest.approx(1.0, rel=0.05)
+
+    def test_figure4_energy_components(self, runner):
+        res = figure4(runner, workloads=["fir"])
+        for row in res.rows:
+            parts = sum(row[k] for k in
+                        ("core", "icache", "dcache", "local_store",
+                         "network", "l2", "dram"))
+            assert parts == pytest.approx(row["total"], rel=1e-9)
+        assert res.one(app="fir", model="cc")["local_store"] == 0.0
+        assert res.one(app="fir", model="str")["local_store"] > 0.0
+
+    def test_figure5_faster_at_higher_clock(self, runner):
+        res = figure5(runner, workloads=["fir"], clocks=(0.8, 6.4))
+        slow = res.one(app="fir", model="cc", clock_ghz=0.8)
+        fast = res.one(app="fir", model="cc", clock_ghz=6.4)
+        assert fast["normalized_time"] < slow["normalized_time"]
+
+    def test_figure6_bandwidth_helps_cc(self, runner):
+        res = figure6(runner, bandwidths=(1.6, 12.8))
+        narrow = res.one(model="cc", bandwidth_gbps=1.6, prefetch=False)
+        wide = res.one(model="cc", bandwidth_gbps=12.8, prefetch=False)
+        assert wide["normalized_time"] <= narrow["normalized_time"]
+        assert res.select(prefetch=True)   # the CC+prefetch point exists
+
+    def test_figure7_three_configs_per_app(self, runner):
+        res = figure7(runner, workloads=["merge"])
+        assert [r["config"] for r in res.rows] == ["CC", "CC+P4", "STR"]
+
+    def test_figure8_pfs_between_cc_and_str(self, runner):
+        res = figure8(runner, workloads=["fir"])
+        cc = res.one(app="fir", config="CC")["total"]
+        pfs = res.one(app="fir", config="CC+PFS")["total"]
+        st = res.one(app="fir", config="STR")["total"]
+        assert pfs < cc
+        assert pfs == pytest.approx(st, rel=0.2)
+
+    def test_figure9_variants(self, runner):
+        res = figure9(runner, core_counts=(2, 4))
+        assert {r["variant"] for r in res.rows} == {"ORIG", "OPT"}
+        orig = res.one(variant="ORIG", cores=4)
+        opt = res.one(variant="OPT", cores=4)
+        assert opt["normalized_time"] < orig["normalized_time"]
+
+    def test_figure10_art_speedup(self, runner):
+        res = figure10(runner, core_counts=(2,))
+        orig = res.one(variant="ORIG", cores=2)
+        opt = res.one(variant="OPT", cores=2)
+        assert opt["normalized_time"] < orig["normalized_time"] / 2
+
+
+class TestExports:
+    def test_to_csv_round_trips(self, runner):
+        import csv
+        import io
+
+        res = figure8(runner, workloads=["fir"])
+        rows = list(csv.DictReader(io.StringIO(res.to_csv())))
+        assert len(rows) == 3
+        assert rows[0]["config"] == "CC"
+        assert float(rows[0]["total"]) == pytest.approx(1.0, rel=0.05)
+
+    def test_to_json_round_trips(self, runner):
+        import json
+
+        res = figure8(runner, workloads=["fir"])
+        parsed = json.loads(res.to_json())
+        assert parsed["experiment"] == "figure8"
+        assert len(parsed["rows"]) == 3
+
+    def test_save_writes_three_formats(self, runner, tmp_path):
+        res = figure8(runner, workloads=["fir"])
+        paths = res.save(tmp_path)
+        assert sorted(p.suffix for p in paths) == [".csv", ".json", ".txt"]
+        for p in paths:
+            assert p.exists() and p.stat().st_size > 0
+
+
+class TestStackedBars:
+    def test_renders_scaled_bars(self):
+        from repro.harness.reports import render_stacked_bars
+
+        out = render_stacked_bars(
+            [{"m": "cc", "a": 2.0, "b": 1.0}, {"m": "str", "a": 1.0, "b": 0.5}],
+            ["m"], ["a", "b"], width=12)
+        lines = out.splitlines()
+        assert lines[0].startswith("legend")
+        assert lines[1].count("#") == 8 and lines[1].count("=") == 4
+        assert lines[2].count("#") == 4 and lines[2].count("=") == 2
+
+    def test_empty_rows(self):
+        from repro.harness.reports import render_stacked_bars
+
+        assert "no rows" in render_stacked_bars([], ["m"], ["a"])
+
+    def test_too_many_components_rejected(self):
+        from repro.harness.reports import render_stacked_bars
+
+        with pytest.raises(ValueError):
+            render_stacked_bars([{"x": 1}], [], list("abcdefg"))
+
+    def test_bar_width_never_exceeded(self):
+        from repro.harness.reports import render_stacked_bars
+
+        out = render_stacked_bars(
+            [{"m": "x", "a": 1.0, "b": 1.0, "c": 1.0}],
+            ["m"], ["a", "b", "c"], width=10)
+        bar = out.splitlines()[1].split("|")[1]
+        assert len(bar) == 10

@@ -1,0 +1,55 @@
+"""Local-store discipline across the streaming variants.
+
+The paper's Section 2.3 complexity argument hinges on streaming software
+having to manage a hard 24 KB budget perfectly.  These tests quantify
+how much slack each streaming variant leaves, and that the budget is a
+real constraint (an unreasonably small store must fail loudly).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import MachineConfig
+from repro.core.system import CmpSystem
+from repro.mem.local_store import LocalStoreError
+from repro.workloads import get_workload, workload_names
+
+
+def allocations(name: str, preset: str) -> int:
+    cfg = MachineConfig(num_cores=2).with_model("str")
+    program = get_workload(name).build("str", cfg, preset=preset)
+    system = CmpSystem(cfg, program)
+    for thread in program.threads(system):
+        next(thread, None)   # run allocations at the top of the body
+    return max(s.allocated_bytes for s in system.hierarchy.local_stores)
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_default_preset_fits_with_headroom(name):
+    used = allocations(name, "default")
+    assert used <= 24 * 1024
+    # Double-buffering must leave some room for stack spill in practice.
+    assert used <= 20 * 1024, f"{name} uses {used} bytes (too tight)"
+
+
+def test_oversized_buffers_fail_loudly():
+    """Shrinking the store below a variant's needs must raise, not wedge."""
+    cfg = MachineConfig(num_cores=2).with_model("str")
+    cfg = cfg.with_(stream=dataclasses.replace(
+        cfg.stream, local_store_bytes=512))
+    program = get_workload("fir").build("str", cfg, preset="default")
+    system = CmpSystem(cfg, program)
+    with pytest.raises(LocalStoreError, match="overflow"):
+        system.run()
+
+
+def test_budget_is_per_core():
+    cfg = MachineConfig(num_cores=4).with_model("str")
+    program = get_workload("merge").build("str", cfg, preset="tiny")
+    system = CmpSystem(cfg, program)
+    for thread in program.threads(system):
+        next(thread, None)
+    stores = system.hierarchy.local_stores
+    assert len({id(s) for s in stores}) == 4
+    assert all(s.allocated_bytes <= s.capacity_bytes for s in stores)

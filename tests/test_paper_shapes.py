@@ -1,0 +1,151 @@
+"""Fast qualitative checks of the paper's headline claims.
+
+These run at the ``small``/``tiny`` presets so the whole file stays
+quick; the full-scale versions with tighter factors live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro import run_workload
+
+
+@pytest.fixture(scope="module")
+def small():
+    cache = {}
+
+    def _run(name, model="cc", **kwargs):
+        def freeze(value):
+            if isinstance(value, dict):
+                return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+            return value
+
+        key = (name, model,
+               tuple(sorted((k, freeze(v)) for k, v in kwargs.items())))
+        if key not in cache:
+            cache[key] = run_workload(name, model=model, preset="small",
+                                      **kwargs)
+        return cache[key]
+
+    return _run
+
+
+class TestBandwidthClaims:
+    def test_fir_streaming_avoids_output_refills(self, small):
+        """Section 2.3 / Figure 3: CC moves ~1.5x the bytes of STR."""
+        cc = small("fir", "cc", cores=16)
+        st = small("fir", "str", cores=16)
+        ratio = cc.traffic.total_bytes / st.traffic.total_bytes
+        assert 1.3 < ratio < 1.7
+
+    def test_bitonic_streaming_writes_unmodified_data(self, small):
+        """Section 5.1: STR bitonic writes back clean data; CC does not.
+
+        The effect needs the key array to exceed the 512 KB L2 (otherwise
+        both models' writes coalesce on chip), so this test overrides the
+        small preset's array size.
+        """
+        big = {"n_keys": 1 << 18}
+        cc = small("bitonic", "cc", cores=16, overrides=big)
+        st = small("bitonic", "str", cores=16, overrides=big)
+        assert st.traffic.write_bytes > 1.5 * cc.traffic.write_bytes
+
+    def test_pfs_gives_cc_streaming_traffic(self, small):
+        """Section 5.5: non-allocating stores eliminate refills."""
+        cc = small("fir", "cc", cores=16)
+        pfs = small("fir", "cc", cores=16, overrides={"pfs": True})
+        st = small("fir", "str", cores=16)
+        assert pfs.traffic.read_bytes == st.traffic.read_bytes
+        assert pfs.traffic.read_bytes < cc.traffic.read_bytes
+
+
+class TestLatencyClaims:
+    def test_streaming_double_buffering_hides_latency(self, small):
+        """Section 5.1: DMA double-buffering eliminates data stalls."""
+        st = small("fir", "str", cores=8)
+        assert st.breakdown.load_fs == 0
+        assert st.breakdown.sync_fs < 0.1 * st.breakdown.total_fs
+
+    def test_prefetch_eliminates_merge_stalls(self, small):
+        """Section 5.4 / Figure 7."""
+        base = small("merge", "cc", cores=2, clock_ghz=3.2,
+                     bandwidth_gbps=12.8)
+        pf = small("merge", "cc", cores=2, clock_ghz=3.2,
+                   bandwidth_gbps=12.8, prefetch=True)
+        assert pf.breakdown.load_fs < 0.12 * base.breakdown.load_fs
+        assert pf.exec_time_fs < base.exec_time_fs
+
+    def test_more_bandwidth_rescues_cc_fir(self, small):
+        """Section 5.4 / Figure 6."""
+        narrow = small("fir", "cc", cores=16, clock_ghz=3.2,
+                       bandwidth_gbps=1.6)
+        wide = small("fir", "cc", cores=16, clock_ghz=3.2,
+                     bandwidth_gbps=12.8)
+        assert wide.exec_time_fs < 0.5 * narrow.exec_time_fs
+
+
+class TestComputeScalingClaims:
+    def test_fir_streaming_wins_at_high_clock(self, small):
+        """Section 5.3 / Figure 5: ~36% for FIR at 6.4 GHz."""
+        cc = small("fir", "cc", cores=16, clock_ghz=6.4)
+        st = small("fir", "str", cores=16, clock_ghz=6.4)
+        gain = 1 - st.exec_time_fs / cc.exec_time_fs
+        assert gain > 0.15
+
+    def test_bitonic_caching_wins_at_high_clock(self, small):
+        """Section 5.3 / Figure 5: ~19% for BitonicSort at 6.4 GHz."""
+        cc = small("bitonic", "cc", cores=16, clock_ghz=6.4)
+        st = small("bitonic", "str", cores=16, clock_ghz=6.4)
+        assert cc.exec_time_fs < st.exec_time_fs
+
+    def test_compute_bound_apps_insensitive(self, small):
+        """Section 5.3: Depth shows no model sensitivity at high clock."""
+        cc = small("depth", "cc", cores=16, clock_ghz=6.4)
+        st = small("depth", "str", cores=16, clock_ghz=6.4)
+        gap = abs(cc.exec_time_fs - st.exec_time_fs) / cc.exec_time_fs
+        assert gap < 0.2
+
+
+class TestEnergyClaims:
+    def test_streaming_saves_energy_on_output_heavy_apps(self, small):
+        """Section 5.2: 10-25% for the refill-dominated applications."""
+        cc = small("jpeg_dec", "cc", cores=16)
+        st = small("jpeg_dec", "str", cores=16)
+        saving = 1 - st.energy.total / cc.energy.total
+        assert saving > 0.05
+
+    def test_energy_difference_is_dram(self, small):
+        """Section 5.2: 'the energy differential ... comes from DRAM'."""
+        cc = small("jpeg_dec", "cc", cores=16)
+        st = small("jpeg_dec", "str", cores=16)
+        dram_delta = cc.energy.dram - st.energy.dram
+        total_delta = cc.energy.total - st.energy.total
+        assert dram_delta > 0.5 * total_delta
+
+    def test_pfs_closes_energy_gap(self, small):
+        cc = small("fir", "cc", cores=16)
+        pfs = small("fir", "cc", cores=16, overrides={"pfs": True})
+        assert pfs.energy.total < cc.energy.total
+
+
+class TestStreamProgrammingClaims:
+    def test_art_restructuring_speedup(self, small):
+        """Figure 10: dramatic speedup even at small core counts."""
+        orig = small("art", "cc", cores=2, overrides={"layout": "original"})
+        opt = small("art", "cc", cores=2)
+        assert orig.exec_time_fs > 3 * opt.exec_time_fs
+
+    def test_mpeg2_fusion_cuts_writebacks(self, small):
+        """Figure 9: producer-consumer fusion cuts L1 write-backs."""
+        orig = small("mpeg2", "cc", cores=8,
+                     overrides={"structure": "original",
+                                "icache_miss_per_mb": 0})
+        opt = small("mpeg2", "cc", cores=8)
+        assert opt.stats["l1.writebacks"] < 0.5 * orig.stats["l1.writebacks"]
+
+    def test_mpeg2_fusion_faster(self, small):
+        orig = small("mpeg2", "cc", cores=8,
+                     overrides={"structure": "original",
+                                "icache_miss_per_mb": 0})
+        opt = small("mpeg2", "cc", cores=8)
+        assert opt.exec_time_fs < orig.exec_time_fs

@@ -1,0 +1,108 @@
+"""Tagged stream prefetcher (Section 3.2 / [41])."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PrefetcherConfig
+from repro.mem.prefetcher import StreamPrefetcher
+
+
+def make(depth=4, streams=4, history=8):
+    return StreamPrefetcher(
+        PrefetcherConfig(enabled=True, depth=depth, num_streams=streams,
+                         history_size=history)
+    )
+
+
+class TestStreamDetection:
+    def test_single_miss_prefetches_nothing(self):
+        pf = make()
+        assert pf.on_miss(100) == []
+
+    def test_second_sequential_miss_starts_stream(self):
+        pf = make(depth=4)
+        pf.on_miss(100)
+        issued = pf.on_miss(101)
+        assert issued == [102, 103, 104, 105]
+        assert pf.active_streams == 1
+
+    def test_non_sequential_misses_never_trigger(self):
+        pf = make()
+        for line in (10, 20, 30, 40, 55):
+            assert pf.on_miss(line) == []
+        assert pf.active_streams == 0
+
+    def test_established_stream_advances_on_miss(self):
+        pf = make(depth=2)
+        pf.on_miss(100)
+        pf.on_miss(101)           # issues 102, 103
+        issued = pf.on_miss(102)  # stream advances; keep 2 ahead of 102
+        assert issued == [104]
+
+    def test_history_window_limits_pairing(self):
+        pf = make(history=2)
+        pf.on_miss(1)
+        pf.on_miss(50)
+        pf.on_miss(60)   # line 1 has been pushed out of the history
+        assert pf.on_miss(2) == []
+
+
+class TestTaggedBehaviour:
+    def test_tagged_hit_rearms_stream(self):
+        pf = make(depth=4)
+        pf.on_miss(100)
+        pf.on_miss(101)                 # prefetched 102..105
+        issued = pf.on_tagged_hit(102)  # first demand use of a prefetch
+        assert issued == [106]
+
+    def test_tagged_hit_without_stream_restarts(self):
+        pf = make(depth=2)
+        issued = pf.on_tagged_hit(500)
+        assert issued == [501, 502]
+
+
+class TestStreamTable:
+    def test_capacity_bounded_with_lru_replacement(self):
+        pf = make(streams=2, depth=1, history=8)
+        for base in (100, 200, 300):
+            pf.on_miss(base)
+            pf.on_miss(base + 1)
+        assert pf.active_streams == 2
+
+    def test_independent_streams_tracked(self):
+        pf = make(streams=4, depth=2)
+        pf.on_miss(100)
+        pf.on_miss(200)
+        a = pf.on_miss(101)
+        b = pf.on_miss(201)
+        assert a == [102, 103]
+        assert b == [202, 203]
+        assert pf.active_streams == 2
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=200))
+    def test_never_prefetches_backwards(self, misses):
+        pf = make()
+        for line in misses:
+            for issued in pf.on_miss(line):
+                assert issued > line
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=2, max_value=64))
+    def test_sequential_walk_stays_depth_ahead(self, depth, length):
+        """On a pure sequential stream the prefetcher covers every line."""
+        pf = make(depth=depth)
+        covered = set()
+        demand_misses = 0
+        for line in range(length):
+            if line in covered:
+                covered.update(pf.on_tagged_hit(line))
+            else:
+                demand_misses += 1
+                covered.update(pf.on_miss(line))
+        # After the stream is established (2 misses), everything is covered.
+        assert demand_misses <= 2

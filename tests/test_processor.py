@@ -1,0 +1,178 @@
+"""Processor interpreter: op handling, stall attribution, accounting."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.core.ops import (
+    compute,
+    dma_get,
+    dma_put,
+    dma_wait,
+    icache_miss,
+    load,
+    local_load,
+    local_store,
+    pfs_store,
+    store,
+)
+from repro.core.system import CmpSystem
+from repro.sim.kernel import SimulationError
+from repro.units import ns_to_fs
+from repro.workloads.base import Program
+
+
+def run_single(ops, model="cc", **cfg_kwargs):
+    cfg = MachineConfig(num_cores=1, **cfg_kwargs).with_model(model)
+
+    def thread(env):
+        yield from iter(ops)
+
+    system = CmpSystem(cfg, Program("test", [thread]))
+    result = system.run()
+    return system.processors[0], result
+
+
+class TestCompute:
+    def test_cycles_charged_as_useful(self):
+        p, _ = run_single([compute(1000)])
+        assert p.useful_fs == 1000 * p.cycle_fs
+        assert p.instructions == 2000          # default 2 IPC
+
+    def test_explicit_instruction_count(self):
+        p, _ = run_single([compute(100, instructions=42)])
+        assert p.instructions == 42
+
+    def test_l1_accesses_counted(self):
+        p, _ = run_single([compute(100, l1_accesses=64)])
+        assert p.word_accesses == 64
+
+    def test_invalid_compute_rejected(self):
+        with pytest.raises(ValueError):
+            compute(-1)
+        with pytest.raises(ValueError):
+            compute(1, instructions=-1)
+
+
+class TestLoadsAndStores:
+    def test_load_miss_stalls_core(self):
+        p, _ = run_single([load(0x1000, 32)])
+        assert p.load_stall_fs > ns_to_fs(70)
+
+    def test_load_hit_does_not_stall(self):
+        p, _ = run_single([load(0x1000, 32), load(0x1000, 32)])
+        # Only the first access misses.
+        assert p.load_stall_fs < ns_to_fs(110)
+
+    def test_multi_line_op_walks_every_line(self):
+        p, result = run_single([load(0x1000, 256)])
+        assert result.l1_misses == 8
+        assert p.word_accesses == 64
+
+    def test_issue_slots_charged_per_access(self):
+        p, _ = run_single([load(0x1000, 32, accesses=8), compute(0)])
+        assert p.useful_fs == 8 * p.cycle_fs
+        assert p.instructions == 8
+
+    def test_store_goes_through_buffer_without_stall(self):
+        p, _ = run_single([store(0x1000, 32)])
+        assert p.store_stall_fs == 0
+
+    def test_pfs_store_avoids_read_traffic(self):
+        _, normal = run_single([store(0x1000, 32)])
+        _, with_pfs = run_single([pfs_store(0x1000, 32)])
+        assert normal.traffic.read_bytes == 32
+        assert with_pfs.traffic.read_bytes == 0
+
+    def test_icache_miss_counts_and_charges_useful(self):
+        p, _ = run_single([icache_miss(3)])
+        assert p.icache_misses == 3
+        assert p.useful_fs == 3 * ns_to_fs(12)
+
+
+class TestLocalStoreOps:
+    def test_local_ops_require_streaming_model(self):
+        cfg = MachineConfig(num_cores=1).with_model("str")
+
+        def thread(env):
+            env.local_store.alloc(256, "buf")
+            yield local_load(0, 256)
+            yield local_store(0, 128)
+
+        system = CmpSystem(cfg, Program("test", [thread]))
+        system.run()
+        ls = system.hierarchy.local_stores[0]
+        assert ls.reads == 256
+        assert ls.writes == 128
+        assert system.processors[0].local_accesses == 64 + 32
+
+    def test_local_op_bounds_checked(self):
+        cfg = MachineConfig(num_cores=1).with_model("str")
+
+        def thread(env):
+            yield local_load(30_000, 64)   # beyond the 24 KB local store
+
+        system = CmpSystem(cfg, Program("test", [thread]))
+        with pytest.raises(Exception):
+            system.run()
+
+    def test_dma_on_cached_model_rejected(self):
+        with pytest.raises(SimulationError):
+            run_single([dma_get(0, 0x1000, 64)], model="cc")
+
+
+class TestDmaOps:
+    def test_dma_wait_charges_sync(self):
+        p, _ = run_single(
+            [dma_get(0, 0x1000, 4096), dma_wait(0)], model="str")
+        assert p.sync_fs > ns_to_fs(70)
+
+    def test_dma_overlapped_with_compute(self):
+        """Double-buffering hides the transfer behind computation."""
+        p, _ = run_single(
+            [dma_get(0, 0x1000, 4096), compute(10000), dma_wait(0)],
+            model="str")
+        # 10000 cycles at 800 MHz = 12.5 us >> transfer time: no sync stall.
+        assert p.sync_fs == 0
+
+    def test_dma_setup_instructions_charged(self):
+        cfg_cost = MachineConfig().stream.dma_setup_instructions
+        p, _ = run_single([dma_put(0, 0x1000, 64)], model="str")
+        assert p.instructions == cfg_cost
+        assert p.useful_fs == cfg_cost * p.cycle_fs
+
+    def test_wait_on_unused_tag_is_noop(self):
+        p, _ = run_single([dma_wait(9)], model="str")
+        assert p.sync_fs == 0
+
+
+class TestAccounting:
+    def test_total_time_components_sum_to_finish(self):
+        ops = [load(0x1000 + i * 32, 32) for i in range(64)]
+        ops.append(compute(5000))
+        p, _ = run_single(ops)
+        assert p.total_fs == p.finish_fs
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SimulationError):
+            run_single([("bogus",)])
+
+    def test_quantum_yields_do_not_change_results(self):
+        ops = [load(0x1000 + i * 32, 32) for i in range(32)]
+        p1, r1 = run_single(list(ops), quantum_cycles=50)
+        p2, r2 = run_single(list(ops), quantum_cycles=5000)
+        assert r1.exec_time_fs == r2.exec_time_fs
+
+
+class TestDeadlockDetection:
+    def test_blocked_core_reported(self):
+        from repro.core.sync import Barrier
+        barrier = Barrier(2)   # two parties, but only one thread arrives
+
+        def thread(env):
+            from repro.core.ops import barrier_wait
+            yield barrier_wait(barrier)
+
+        cfg = MachineConfig(num_cores=1)
+        system = CmpSystem(cfg, Program("test", [thread]))
+        with pytest.raises(SimulationError, match="deadlock"):
+            system.run()

@@ -1,0 +1,119 @@
+"""Processor corner cases: generators, sends, wake ordering."""
+
+import pytest
+
+from repro import MachineConfig
+from repro.core.ops import barrier_wait, compute, load, task_pop
+from repro.core.sync import Barrier, TaskQueue
+from repro.core.system import CmpSystem
+from repro.workloads.base import Program
+
+
+def run_threads(factories, **cfg_kwargs):
+    cfg = MachineConfig(num_cores=len(factories), **cfg_kwargs)
+    system = CmpSystem(cfg, Program("test", factories))
+    return system, system.run()
+
+
+class TestGeneratorProtocol:
+    def test_empty_thread_finishes_at_time_zero(self):
+        def thread(env):
+            return
+            yield  # pragma: no cover
+
+        system, result = run_threads([thread])
+        assert result.exec_time_fs == 0
+
+    def test_sent_values_reach_the_generator(self):
+        queue = TaskQueue(["a", "b", "c"])
+        received = []
+
+        def thread(env):
+            while True:
+                item = yield task_pop(queue)
+                if item is None:
+                    break
+                received.append(item)
+
+        run_threads([thread])
+        assert received == ["a", "b", "c"]
+
+    def test_generator_state_survives_suspension(self):
+        barrier = Barrier(2)
+        values = []
+
+        def thread(env):
+            local = env.core_id * 100
+            yield compute(10)
+            yield barrier_wait(barrier)
+            local += 1          # must see the pre-suspension state
+            values.append(local)
+
+        run_threads([thread, thread])
+        assert sorted(values) == [1, 101]
+
+    def test_exception_in_thread_propagates(self):
+        def thread(env):
+            yield compute(1)
+            raise RuntimeError("workload bug")
+
+        with pytest.raises(RuntimeError, match="workload bug"):
+            run_threads([thread])
+
+
+class TestTimingDetails:
+    def test_issue_cost_is_one_cycle_per_access(self):
+        def thread(env):
+            yield load(0x10000, 32, accesses=5)
+
+        system, _ = run_threads([thread])
+        p = system.processors[0]
+        assert p.useful_fs == 5 * p.cycle_fs
+        assert p.instructions == 5
+
+    def test_load_spanning_lines_counts_misses_per_line(self):
+        def thread(env):
+            yield load(0x10010, 64)   # misaligned: touches 3 lines
+
+        system, result = run_threads([thread])
+        assert result.l1_misses == 3
+
+    def test_wake_never_moves_time_backwards(self):
+        barrier = Barrier(2)
+
+        def fast(env):
+            yield barrier_wait(barrier)
+            yield compute(1)
+
+        def slow(env):
+            yield compute(10_000)
+            yield barrier_wait(barrier)
+
+        system, _ = run_threads([fast, slow])
+        # The fast core resumed at the slow core's arrival time.
+        assert system.processors[0].finish_fs >= \
+            10_000 * system.processors[1].cycle_fs
+
+    def test_finish_time_is_local_clock(self):
+        def thread(env):
+            yield compute(1234)
+
+        system, result = run_threads([thread])
+        assert result.exec_time_fs == 1234 * system.processors[0].cycle_fs
+
+
+class TestMultiCoreInterleaving:
+    def test_quantum_preserves_per_core_totals(self):
+        def make(n):
+            def thread(env):
+                for i in range(n):
+                    yield compute(100)
+                    yield load(0x10000 + env.core_id * 4096 + i * 32, 32)
+            return thread
+
+        results = []
+        for quantum in (50, 400):
+            system, result = run_threads([make(20)] * 4,
+                                         quantum_cycles=quantum)
+            results.append([p.useful_fs for p in system.processors])
+        assert results[0] == results[1]

@@ -1,0 +1,78 @@
+"""Robustness: the paper's shapes must not hinge on seeds or exact scales."""
+
+import pytest
+
+from repro import MachineConfig, run_program, run_workload
+from repro.workloads import get_workload
+
+
+class TestSeedIndependence:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_bitonic_write_asymmetry_holds_across_seeds(self, seed):
+        """STR always writes at least as much as CC, whatever the data."""
+        cc = run_workload("bitonic", "cc", cores=4, preset="tiny",
+                          overrides={"seed": seed})
+        st = run_workload("bitonic", "str", cores=4, preset="tiny",
+                          overrides={"seed": seed})
+        assert st.traffic.write_bytes >= cc.traffic.write_bytes
+
+    @pytest.mark.parametrize("seed", [3, 11, 99])
+    def test_bitonic_sorts_for_any_seed(self, seed):
+        from repro.workloads.sorts import BitonicSortWorkload
+        import numpy as np
+
+        wl = BitonicSortWorkload()
+        params = dict(wl.presets["tiny"], seed=seed)
+        wl._prepare(params)
+        arr = wl.last_sorted
+        assert bool(np.all(arr[:-1] <= arr[1:]))
+
+    @pytest.mark.parametrize("seed", [2, 5])
+    def test_fem_runs_for_any_mesh_seed(self, seed):
+        r = run_workload("fem", cores=4, preset="tiny",
+                         overrides={"seed": seed})
+        assert r.exec_time_fs > 0
+
+    @pytest.mark.parametrize("seed", [1, 8])
+    def test_raytracer_models_agree_for_any_seed(self, seed):
+        cc = run_workload("raytracer", "cc", cores=4, preset="tiny",
+                          overrides={"seed": seed})
+        st = run_workload("raytracer", "str", cores=4, preset="tiny",
+                          overrides={"seed": seed})
+        gap = abs(cc.exec_time_fs - st.exec_time_fs) / cc.exec_time_fs
+        assert gap < 0.25
+
+
+class TestScaleIndependence:
+    @pytest.mark.parametrize("n_samples", [1 << 11, 1 << 13, 1 << 15])
+    def test_fir_traffic_ratio_scale_free(self, n_samples):
+        """The 3:2 refill story holds at any problem size."""
+        cc = run_workload("fir", "cc", cores=4, preset="tiny",
+                          overrides={"n_samples": n_samples})
+        st = run_workload("fir", "str", cores=4, preset="tiny",
+                          overrides={"n_samples": n_samples})
+        ratio = cc.traffic.total_bytes / st.traffic.total_bytes
+        assert ratio == pytest.approx(1.5, rel=0.02)
+
+    @pytest.mark.parametrize("cores", [1, 3, 5, 7, 12])
+    def test_odd_core_counts_work(self, cores):
+        """Nothing assumes power-of-two or cluster-multiple core counts."""
+        for model in ("cc", "str"):
+            r = run_workload("fir", model, cores=cores, preset="tiny")
+            assert r.exec_time_fs > 0
+
+    @pytest.mark.parametrize("cores", [1, 5, 16])
+    def test_task_queue_workloads_at_awkward_counts(self, cores):
+        r = run_workload("jpeg_enc", cores=cores, preset="tiny")
+        assert r.exec_time_fs > 0
+
+
+class TestClockBandwidthGrid:
+    @pytest.mark.parametrize("ghz", [0.8, 1.6, 3.2, 6.4])
+    @pytest.mark.parametrize("gbps", [1.6, 6.4, 12.8])
+    def test_fir_runs_everywhere_on_the_paper_grid(self, ghz, gbps):
+        r = run_workload("fir", cores=4, clock_ghz=ghz,
+                         bandwidth_gbps=gbps, preset="tiny")
+        assert r.breakdown.total_fs == pytest.approx(r.exec_time_fs,
+                                                     rel=1e-9)
+        assert r.offchip_mb_per_s <= gbps * 1000 * 1.001

@@ -1,0 +1,91 @@
+"""Interval sampling and sparkline rendering."""
+
+import pytest
+
+from repro import MachineConfig
+from repro.core.system import CmpSystem
+from repro.sim.sampling import IntervalSampler, sparkline
+from repro.units import ns_to_fs
+from repro.workloads import get_workload
+
+
+class TestSparkline:
+    def test_levels(self):
+        assert sparkline([0.0, 0.5, 1.0]) == " =@"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_autoscaling(self):
+        out = sparkline([1.0, 2.0, 4.0])
+        assert out[-1] == "@"
+
+    def test_zero_peak(self):
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_explicit_peak_clamps(self):
+        out = sparkline([2.0], peak=1.0)
+        assert out == "@"
+
+
+def run_sampled(name="fir", cores=4, interval_ns=20_000, model="cc"):
+    cfg = MachineConfig(num_cores=cores).with_model(model)
+    program = get_workload(name).build(model, cfg, preset="tiny")
+    system = CmpSystem(cfg, program)
+    sampler = IntervalSampler(system, interval_fs=ns_to_fs(interval_ns))
+    sampler.start()
+    result = system.run()
+    return sampler, result
+
+
+class TestIntervalSampler:
+    def test_collects_samples_across_the_run(self):
+        sampler, result = run_sampled()
+        assert len(sampler.samples) >= 2
+        assert sampler.samples[-1]["time_fs"] <= result.exec_time_fs \
+            + sampler.interval_fs
+
+    def test_series_bounded(self):
+        sampler, _ = run_sampled()
+        for key in ("dram_utilization", "core_activity"):
+            for v in sampler.series(key):
+                assert 0.0 <= v <= 1.0
+
+    def test_busy_run_shows_activity(self):
+        sampler, _ = run_sampled("depth", cores=2, interval_ns=100_000)
+        assert max(sampler.series("core_activity")) > 0.5
+
+    def test_sampling_does_not_change_results(self):
+        from repro.core.system import run_program
+
+        cfg = MachineConfig(num_cores=4)
+        wl = get_workload("fir")
+        plain = run_program(cfg, wl.build("cc", cfg, preset="tiny"))
+        _, sampled = run_sampled()
+        assert sampled.exec_time_fs == plain.exec_time_fs
+        assert sampled.traffic == plain.traffic
+
+    def test_render_shape(self):
+        sampler, _ = run_sampled()
+        out = sampler.render(width=40)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("core activity |")
+        bar0 = lines[0].split("|")[1]
+        assert len(bar0) <= 40
+
+    def test_invalid_interval_rejected(self):
+        cfg = MachineConfig(num_cores=1)
+        program = get_workload("fir").build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        with pytest.raises(ValueError):
+            IntervalSampler(system, interval_fs=0)
+
+    def test_double_start_rejected(self):
+        cfg = MachineConfig(num_cores=1)
+        program = get_workload("fir").build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        sampler = IntervalSampler(system, interval_fs=1000)
+        sampler.start()
+        with pytest.raises(RuntimeError):
+            sampler.start()

@@ -1,0 +1,52 @@
+"""The paper-claim scorecard machinery (claims evaluated at full scale
+by benchmarks/test_scorecard.py; here we test the mechanism itself)."""
+
+import pytest
+
+from repro.harness import CLAIMS, Claim, Runner, scorecard
+
+
+class TestClaimList:
+    def test_ids_unique(self):
+        ids = [c.id for c in CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_every_claim_cites_a_section(self):
+        for claim in CLAIMS:
+            assert claim.section.startswith("§")
+
+    def test_bands_well_formed(self):
+        for claim in CLAIMS:
+            assert claim.low <= claim.high, claim.id
+
+    def test_claim_count_covers_the_evaluation(self):
+        # One claim per prose number of Sections 2-6, at least.
+        assert len(CLAIMS) >= 15
+
+
+class TestEvaluation:
+    def test_evaluate_structure(self):
+        claim = Claim("x", "§0", "test", 1.0, lambda r: 0.5, 0.0, 1.0)
+        row = claim.evaluate(Runner(preset="tiny"))
+        assert row["ok"] is True
+        assert row["measured"] == 0.5
+        assert row["band"] == "[0, 1]"
+
+    def test_out_of_band_flags_false(self):
+        claim = Claim("x", "§0", "test", 1.0, lambda r: 2.0, 0.0, 1.0)
+        assert claim.evaluate(Runner(preset="tiny"))["ok"] is False
+
+    def test_cheap_claims_run_at_tiny_scale(self):
+        """Smoke a few inexpensive claims end to end (the full list runs
+        at benchmark scale in benchmarks/test_scorecard.py; some claims
+        pin full-size datasets and are too slow for the unit suite)."""
+        cheap = {"fir-traffic-ratio", "fir-pfs-parity", "fem-traffic-parity"}
+        runner = Runner(preset="tiny")
+        rows = [c.evaluate(runner) for c in CLAIMS if c.id in cheap]
+        assert len(rows) == len(cheap)
+        for row in rows:
+            assert isinstance(row["measured"], float)
+        # These three are scale-independent and must hold even at tiny.
+        by_id = {r["claim"]: r for r in rows}
+        assert by_id["fir-traffic-ratio"]["ok"]
+        assert by_id["fir-pfs-parity"]["ok"]

@@ -1,0 +1,254 @@
+"""Event queue, simulator clock, and occupancy resources."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    EventQueue,
+    OccupancyResource,
+    SimulationError,
+    Simulator,
+    ThroughputResource,
+)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(30, lambda: fired.append("c"))
+        q.schedule(10, lambda: fired.append("a"))
+        q.schedule(20, lambda: fired.append("b"))
+        while len(q):
+            _, cb = q.pop()
+            cb()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for i in range(5):
+            q.schedule(100, lambda i=i: fired.append(i))
+        while len(q):
+            q.pop()[1]()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-1, lambda: None)
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(42, lambda: None)
+        assert q.peek_time() == 42
+
+    @settings(deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,
+                    max_size=200))
+    def test_pop_order_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.schedule(t, lambda: None)
+        popped = [q.pop()[0] for _ in range(len(times))]
+        assert popped == sorted(times)
+
+
+class TestSimulator:
+    def test_clock_advances_monotonically(self):
+        sim = Simulator()
+        seen = []
+        sim.at(5, lambda: seen.append(sim.now))
+        sim.at(2, lambda: seen.append(sim.now))
+        final = sim.run()
+        assert seen == [2, 5]
+        assert final == 5
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.after(10, lambda: seen.append(sim.now))
+
+        sim.at(1, first)
+        sim.run()
+        assert seen == [1, 11]
+
+    def test_scheduling_in_past_raises(self):
+        sim = Simulator()
+
+        def bad():
+            sim.at(0, lambda: None)
+
+        sim.at(10, bad)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-5, lambda: None)
+
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=10)
+
+        def loop():
+            sim.after(1, loop)
+
+        sim.at(0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run()
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as e:
+                errors.append(e)
+
+        sim.at(0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+
+class TestOccupancyResource:
+    def test_idle_resource_serves_immediately(self):
+        r = OccupancyResource("r", latency_fs=10)
+        start, done = r.acquire(100, 5)
+        assert (start, done) == (100, 115)
+
+    def test_busy_resource_queues(self):
+        r = OccupancyResource("r")
+        r.acquire(100, 50)
+        start, done = r.acquire(120, 10)
+        assert start == 150
+        assert done == 160
+
+    def test_late_arrival_not_penalized(self):
+        r = OccupancyResource("r")
+        r.acquire(0, 10)
+        start, _ = r.acquire(1000, 10)
+        assert start == 1000
+
+    def test_busy_accounting_and_utilization(self):
+        r = OccupancyResource("r")
+        r.acquire(0, 30)
+        r.acquire(0, 20)
+        assert r.busy_fs == 50
+        assert r.requests == 2
+        assert r.utilization(100) == pytest.approx(0.5)
+        assert r.utilization(0) == 0.0
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            OccupancyResource("r").acquire(0, -1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            OccupancyResource("r", latency_fs=-1)
+
+    @settings(deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 10**6), st.integers(0, 10**4)),
+                    min_size=1, max_size=100))
+    def test_no_overlapping_service_property(self, reqs):
+        """Service intervals never overlap, regardless of arrival order.
+
+        Zero-length requests occupy nothing and are excluded.
+        """
+        r = OccupancyResource("r")
+        intervals = []
+        for now, svc in reqs:
+            start, _ = r.acquire(now, svc)
+            if svc > 0:
+                intervals.append((start, start + svc))
+        intervals.sort()
+        for (s0, e0), (s1, e1) in zip(intervals, intervals[1:]):
+            assert e0 <= s1
+
+
+class TestThroughputResource:
+    def test_transfer_time_proportional_to_bytes(self):
+        r = ThroughputResource("ch", fs_per_byte=100, latency_fs=1000)
+        start, done = r.transfer(0, 32)
+        assert start == 0
+        assert done == 32 * 100 + 1000
+        assert r.bytes_moved == 32
+
+    def test_back_to_back_transfers_pipeline(self):
+        """Latency is pipelined: it does not occupy the channel."""
+        r = ThroughputResource("ch", fs_per_byte=10, latency_fs=500)
+        _, done1 = r.transfer(0, 10)
+        start2, done2 = r.transfer(0, 10)
+        assert start2 == 100          # right after the first's occupancy
+        assert done1 == 600
+        assert done2 == 700           # overlapped latencies
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputResource("ch", fs_per_byte=0)
+
+    def test_negative_bytes_rejected(self):
+        r = ThroughputResource("ch", fs_per_byte=1)
+        with pytest.raises(ValueError):
+            r.transfer(0, -1)
+
+
+class TestBackfill:
+    """The gap calendar: early arrivals use idle gaps between reservations."""
+
+    def test_early_arrival_backfills_gap(self):
+        r = OccupancyResource("r")
+        r.acquire(1000, 10)           # busy [1000, 1010)
+        start, _ = r.acquire(0, 10)   # fits entirely before
+        assert start == 0
+
+    def test_backfill_respects_fit(self):
+        r = OccupancyResource("r")
+        r.acquire(100, 50)            # busy [100, 150)
+        start, _ = r.acquire(95, 10)  # 5 fs gap does not fit 10 fs
+        assert start == 150
+
+    def test_backfill_between_two_reservations(self):
+        r = OccupancyResource("r")
+        r.acquire(0, 10)              # [0, 10)
+        r.acquire(100, 10)            # [100, 110)
+        start, _ = r.acquire(20, 30)  # fits in [10, 100)
+        assert start == 20
+
+    def test_touching_intervals_merge(self):
+        r = OccupancyResource("r")
+        r.acquire(0, 10)
+        r.acquire(10, 10)
+        r.acquire(20, 10)
+        assert len(r._starts) == 1
+        assert (r._starts[0], r._ends[0]) == (0, 30)
+
+    def test_calendar_bounded(self):
+        r = OccupancyResource("r")
+        for i in range(1000):
+            r.acquire(i * 100, 10)    # widely spaced, never merge
+        assert len(r._starts) <= 96
+
+    @settings(deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 10**6), st.integers(1, 10**3)),
+                    min_size=1, max_size=150))
+    def test_no_overlap_with_backfill(self, reqs):
+        r = OccupancyResource("r")
+        intervals = []
+        for now, svc in reqs:
+            start, done = r.acquire(now, svc)
+            assert start >= now
+            intervals.append((start, start + svc))
+        intervals.sort()
+        for (s0, e0), (s1, e1) in zip(intervals, intervals[1:]):
+            assert e0 <= s1

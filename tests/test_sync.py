@@ -1,0 +1,151 @@
+"""Barriers, locks, and task queues — both standalone and in-system."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.core.ops import (
+    barrier_wait,
+    compute,
+    lock_acquire,
+    lock_release,
+    task_pop,
+)
+from repro.core.sync import Barrier, Lock, TaskQueue
+from repro.core.system import CmpSystem
+from repro.workloads.base import Program
+
+
+def run_threads(factories, cores=None, **cfg_kwargs):
+    cores = cores or len(factories)
+    cfg = MachineConfig(num_cores=cores, **cfg_kwargs)
+    system = CmpSystem(cfg, Program("test", factories))
+    result = system.run()
+    return system, result
+
+
+class TestBarrier:
+    def test_validates_parties(self):
+        with pytest.raises(ValueError):
+            Barrier(0)
+
+    def test_all_threads_leave_together(self):
+        barrier = Barrier(3)
+        after = {}
+
+        def make(delay_cycles):
+            def thread(env):
+                yield compute(delay_cycles)
+                yield barrier_wait(barrier)
+                after[env.core_id] = env  # records that we got past
+            return thread
+
+        system, _ = run_threads([make(10), make(5000), make(100)])
+        assert len(after) == 3
+        # Everyone resumed at (or after) the slowest arrival.
+        slow_useful = system.processors[1].useful_fs
+        for p in system.processors:
+            assert p.finish_fs >= slow_useful
+
+    def test_fast_arrivals_charge_sync(self):
+        barrier = Barrier(2)
+
+        def fast(env):
+            yield compute(1)
+            yield barrier_wait(barrier)
+
+        def slow(env):
+            yield compute(100000)
+            yield barrier_wait(barrier)
+
+        system, _ = run_threads([fast, slow])
+        assert system.processors[0].sync_fs > 0
+        assert system.processors[1].sync_fs == 0
+
+    def test_barrier_is_reusable(self):
+        barrier = Barrier(2)
+
+        def thread(env):
+            for _ in range(5):
+                yield compute(10)
+                yield barrier_wait(barrier)
+
+        run_threads([thread, thread])
+        assert barrier.episodes == 5
+
+
+class TestLock:
+    def test_mutual_exclusion_serializes_critical_sections(self):
+        lock = Lock()
+        cs_cycles = 10_000
+
+        def thread(env):
+            yield lock_acquire(lock)
+            yield compute(cs_cycles)
+            yield lock_release(lock)
+
+        system, result = run_threads([thread] * 4)
+        # Four serialized critical sections dominate the runtime.
+        cycle_fs = system.config.core.cycle_fs
+        assert result.exec_time_fs >= 4 * cs_cycles * cycle_fs
+
+    def test_release_by_non_holder_rejected(self):
+        lock = Lock()
+
+        def bad(env):
+            yield lock_release(lock)
+
+        with pytest.raises(RuntimeError):
+            run_threads([bad])
+
+    def test_uncontended_lock_is_cheap(self):
+        lock = Lock()
+
+        def thread(env):
+            yield lock_acquire(lock)
+            yield lock_release(lock)
+
+        system, _ = run_threads([thread])
+        assert system.processors[0].sync_fs == 0
+        assert lock.contended_acquisitions == 0
+
+
+class TestTaskQueue:
+    def test_every_task_popped_exactly_once(self):
+        queue = TaskQueue(list(range(100)))
+        seen = []
+
+        def thread(env):
+            while True:
+                item = yield task_pop(queue)
+                if item is None:
+                    break
+                seen.append(item)
+                yield compute(10)
+
+        run_threads([thread] * 4)
+        assert sorted(seen) == list(range(100))
+
+    def test_contended_pops_serialize(self):
+        queue = TaskQueue(list(range(64)))
+
+        def thread(env):
+            while True:
+                item = yield task_pop(queue)
+                if item is None:
+                    break
+
+        system, _ = run_threads([thread] * 4)
+        assert queue.pops >= 64
+        assert queue.contended_fs > 0
+
+    def test_empty_queue_returns_none_immediately(self):
+        queue = TaskQueue([])
+        item, done = queue.pop(1000, 50)
+        assert item is None
+        assert done == 1050
+
+    def test_push_and_extend(self):
+        queue = TaskQueue()
+        queue.push(1)
+        queue.extend([2, 3])
+        assert len(queue) == 3

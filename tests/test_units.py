@@ -1,0 +1,81 @@
+"""Unit conversions (repro.units)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_ns_round_trip():
+    assert units.fs_to_ns(units.ns_to_fs(2.5)) == pytest.approx(2.5)
+
+
+def test_ns_to_fs_is_integer():
+    assert units.ns_to_fs(2.2) == 2_200_000
+    assert isinstance(units.ns_to_fs(2.2), int)
+
+
+@pytest.mark.parametrize("ghz,period", [
+    (0.8, 1_250_000),
+    (1.6, 625_000),
+    (3.2, 312_500),
+    (6.4, 156_250),
+])
+def test_paper_clock_periods_exact(ghz, period):
+    """Every frequency in Table 2 has an integer femtosecond period."""
+    assert units.ghz_to_period_fs(ghz) == period
+
+
+@pytest.mark.parametrize("gbps,cost", [
+    (1.6, 625_000),
+    (3.2, 312_500),
+    (6.4, 156_250),
+    (12.8, 78_125),
+])
+def test_paper_bandwidths_exact(gbps, cost):
+    """Every channel bandwidth in Table 2 has an integer fs/byte cost."""
+    assert units.gbps_to_fs_per_byte(gbps) == cost
+
+
+def test_period_round_trip():
+    assert units.period_fs_to_ghz(units.ghz_to_period_fs(0.8)) == pytest.approx(0.8)
+
+
+@pytest.mark.parametrize("bad", [0, -1.0])
+def test_invalid_frequency_rejected(bad):
+    with pytest.raises(ValueError):
+        units.ghz_to_period_fs(bad)
+
+
+@pytest.mark.parametrize("bad", [0, -2.5])
+def test_invalid_bandwidth_rejected(bad):
+    with pytest.raises(ValueError):
+        units.gbps_to_fs_per_byte(bad)
+
+
+def test_bandwidth_measurement():
+    # 64 bytes over 10 ns = 6.4 GB/s = 6400 MB/s.
+    fs = units.ns_to_fs(10)
+    assert units.bytes_per_fs_to_gbps(64, fs) == pytest.approx(6.4)
+    assert units.mb_per_s(64, fs) == pytest.approx(6400.0)
+
+
+def test_bandwidth_zero_duration_rejected():
+    with pytest.raises(ValueError):
+        units.bytes_per_fs_to_gbps(10, 0)
+
+
+def test_time_scale_chain():
+    assert units.fs_to_us(units.FS_PER_US) == 1.0
+    assert units.fs_to_ms(units.FS_PER_MS) == 1.0
+    assert units.fs_to_seconds(units.FS_PER_S) == 1.0
+
+
+@settings(deadline=None)
+@given(st.floats(min_value=0.05, max_value=20.0))
+def test_frequency_period_inverse_property(ghz):
+    # The period is rounded to an integer femtosecond count, so the
+    # inverse is exact only up to that quantization.
+    period = units.ghz_to_period_fs(ghz)
+    assert units.period_fs_to_ghz(period) == pytest.approx(ghz, rel=1e-4)

@@ -1,0 +1,89 @@
+"""The result validator (repro.validate)."""
+
+import dataclasses
+
+import pytest
+
+from repro import MachineConfig, run_workload
+from repro.results import Breakdown, EnergyBreakdown, RunResult, Traffic
+from repro.validate import assert_valid, check_result
+from repro.workloads import workload_names
+
+
+def good_result():
+    return run_workload("fir", cores=4, preset="tiny")
+
+
+@pytest.mark.parametrize("name", workload_names())
+@pytest.mark.parametrize("model", ["cc", "str"])
+def test_every_workload_passes_validation(name, model):
+    result = run_workload(name, model=model, cores=4, preset="tiny")
+    config = MachineConfig(num_cores=4).with_model(model)
+    assert check_result(result, config) == []
+
+
+class TestViolationDetection:
+    def test_clean_result_has_no_problems(self):
+        assert check_result(good_result()) == []
+
+    def test_assert_valid_passes_clean(self):
+        assert_valid(good_result())
+
+    def _mutate(self, **changes):
+        return dataclasses.replace(good_result(), **changes)
+
+    def test_detects_settle_before_exec(self):
+        bad = self._mutate(settled_fs=0)
+        assert any("settle" in p for p in check_result(bad))
+
+    def test_detects_breakdown_mismatch(self):
+        bad = self._mutate(breakdown=Breakdown(1.0, 0.0, 0.0, 0.0))
+        assert any("breakdown" in p for p in check_result(bad))
+
+    def test_detects_excess_bandwidth(self):
+        base = good_result()
+        bad = dataclasses.replace(
+            base, traffic=Traffic(read_bytes=10**12, write_bytes=0))
+        problems = check_result(bad, MachineConfig(num_cores=4))
+        assert any("capacity" in p for p in problems)
+
+    def test_detects_miss_conservation_break(self):
+        bad = self._mutate(l1_misses=10**9)
+        assert any("misses" in p for p in check_result(bad))
+
+    def test_misaligned_multi_line_access_is_legal(self):
+        """A 4-byte load crossing a line boundary produces two line
+        operations for one word access — found by hypothesis; must not
+        trip the validator."""
+        from repro.core.ops import load
+        from repro.core.system import CmpSystem
+        from repro.workloads.base import Arena, Program
+
+        arena = Arena()
+        base = arena.alloc(64, "data")
+
+        def thread(env):
+            yield load(base + 29, 4)    # spans two lines, one access
+
+        cfg = MachineConfig(num_cores=1)
+        result = CmpSystem(cfg, Program("edge", [thread], arena)).run()
+        assert result.word_accesses == 1
+        assert result.stats["l1.load_ops"] == 2
+        assert check_result(result, cfg) == []
+
+    def test_detects_negative_energy(self):
+        base = good_result()
+        bad = dataclasses.replace(
+            base, energy=EnergyBreakdown(-1.0, 0, 0, 0, 0, 0, 0))
+        assert any("energy" in p for p in check_result(bad))
+
+    def test_detects_local_store_energy_on_cc(self):
+        base = good_result()
+        bad = dataclasses.replace(
+            base, energy=EnergyBreakdown(1e-3, 0, 0, 1e-4, 0, 0, 0))
+        assert any("local-store" in p for p in check_result(bad))
+
+    def test_assert_valid_raises_with_details(self):
+        bad = self._mutate(settled_fs=0)
+        with pytest.raises(AssertionError, match="settle"):
+            assert_valid(bad)

@@ -1,0 +1,239 @@
+"""Per-workload structural tests: meshes, wavefronts, traversal paths,
+variant semantics."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig, run_workload
+from repro.workloads import get_workload
+from repro.workloads.fem import build_mesh
+from repro.workloads.h264 import wavefront_diagonals
+from repro.workloads.raytracer import RaytracerWorkload
+
+
+class TestFemMesh:
+    def test_shape_and_range(self):
+        mesh = build_mesh(8, 16, seed=1)
+        assert mesh.shape == (128, 4)
+        assert mesh.min() >= 0 and mesh.max() < 128
+
+    def test_deterministic(self):
+        a = build_mesh(8, 16, seed=1)
+        b = build_mesh(8, 16, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = build_mesh(16, 16, seed=1)
+        b = build_mesh(16, 16, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_mostly_local_neighbours(self):
+        """Perturbation keeps most neighbour accesses spatially close."""
+        rows, cols = 32, 32
+        mesh = build_mesh(rows, cols, seed=3)
+        distances = np.abs(mesh - np.arange(rows * cols)[:, None])
+        local = (distances <= 2 * cols).mean()
+        assert local > 0.8
+
+    def test_no_self_loops_mostly(self):
+        mesh = build_mesh(16, 16, seed=5)
+        self_refs = (mesh == np.arange(256)[:, None]).mean()
+        assert self_refs < 0.05
+
+
+class TestH264Wavefront:
+    def test_every_mb_appears_once(self):
+        diags = wavefront_diagonals(22, 18)
+        seen = [mb for diag in diags for mb in diag]
+        assert len(seen) == 22 * 18
+        assert len(set(seen)) == 22 * 18
+
+    def test_dependencies_respected(self):
+        """Each MB's left/top/top-right neighbours are in earlier diagonals."""
+        mbs_x, mbs_y = 22, 18
+        diags = wavefront_diagonals(mbs_x, mbs_y)
+        order = {}
+        for k, diag in enumerate(diags):
+            for mb in diag:
+                order[mb] = k
+        for (x, y), k in order.items():
+            for dep in [(x - 1, y), (x, y - 1), (x + 1, y - 1)]:
+                if dep in order:
+                    assert order[dep] < k, f"{dep} not before {(x, y)}"
+
+    def test_limited_parallelism(self):
+        """CIF wavefront width stays well below 16 (Section 4.2)."""
+        diags = wavefront_diagonals(22, 18)
+        assert max(len(d) for d in diags) <= 11
+
+    def test_sync_grows_with_cores(self):
+        r4 = run_workload("h264", cores=4, preset="tiny")
+        r16 = run_workload("h264", cores=16, preset="tiny")
+        assert (r16.breakdown.sync_fs / r16.breakdown.total_fs
+                >= r4.breakdown.sync_fs / r4.breakdown.total_fs)
+
+
+class TestRaytracer:
+    def test_paths_deterministic_per_chunk(self):
+        wl = RaytracerWorkload()
+        params = dict(wl.presets["tiny"])
+        a = wl._chunk_paths(params, 5)
+        b = wl._chunk_paths(params, 5)
+        assert np.array_equal(a, b)
+        c = wl._chunk_paths(params, 6)
+        assert not np.array_equal(a, c)
+
+    def test_upper_levels_shared_within_chunk(self):
+        wl = RaytracerWorkload()
+        params = dict(wl.presets["tiny"])
+        paths = wl._chunk_paths(params, 0)
+        shared = min(4, params["tree_depth"])
+        for level in range(shared):
+            assert len(set(paths[:, level].tolist())) == 1
+
+    def test_tree_levels_allocated(self):
+        cfg = MachineConfig(num_cores=2)
+        program = RaytracerWorkload().build("cc", cfg, preset="tiny")
+        depth = RaytracerWorkload.presets["tiny"]["tree_depth"]
+        levels = [r for r in program.arena.regions if r.startswith("tree.l")]
+        assert len(levels) == depth + 1
+
+    def test_irregular_loads_dominate(self):
+        """The raytracer is latency-bound, not bandwidth-bound."""
+        r = run_workload("raytracer", cores=4, preset="tiny")
+        assert r.stats["dram.utilization"] < 0.5
+
+
+class TestMpeg2Variants:
+    def test_original_structure_more_traffic(self):
+        """Figure 9: the unoptimized code moves more data off chip."""
+        opt = run_workload("mpeg2", cores=4, preset="tiny")
+        orig = run_workload("mpeg2", cores=4, preset="tiny",
+                            overrides={"structure": "original",
+                                       "icache_miss_per_mb": 0})
+        assert orig.traffic.total_bytes > opt.traffic.total_bytes
+
+    def test_original_structure_more_writebacks(self):
+        """Figure 9: fusion cut L1 write-backs by ~60%."""
+        opt = run_workload("mpeg2", cores=4, preset="tiny")
+        orig = run_workload("mpeg2", cores=4, preset="tiny",
+                            overrides={"structure": "original",
+                                       "icache_miss_per_mb": 0})
+        assert orig.stats["l1.writebacks"] > opt.stats["l1.writebacks"]
+
+    def test_original_slower(self):
+        opt = run_workload("mpeg2", cores=4, preset="tiny")
+        orig = run_workload("mpeg2", cores=4, preset="tiny",
+                            overrides={"structure": "original",
+                                       "icache_miss_per_mb": 0})
+        assert orig.exec_time_fs > opt.exec_time_fs
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(ValueError, match="structure"):
+            run_workload("mpeg2", cores=2, preset="tiny",
+                         overrides={"structure": "bogus"})
+
+    def test_pfs_cuts_write_miss_refills(self):
+        base = run_workload("mpeg2", cores=4, preset="tiny")
+        pfs = run_workload("mpeg2", cores=4, preset="tiny",
+                           overrides={"pfs": True})
+        assert pfs.traffic.read_bytes < base.traffic.read_bytes
+
+    def test_icache_misses_recorded(self):
+        r = run_workload("mpeg2", cores=2, preset="tiny")
+        n_mbs = (64 // 16) * (48 // 16) * 2
+        assert r.stats.get("sim.events")  # sanity
+        # one icache miss charged per macroblock in the fused variant
+
+
+class TestArtVariants:
+    def test_original_layout_sparser(self):
+        """AoS layout drags a line per word: far more off-chip traffic."""
+        opt = run_workload("art", cores=2, preset="tiny")
+        orig = run_workload("art", cores=2, preset="tiny",
+                            overrides={"layout": "original"})
+        assert orig.traffic.read_bytes > 2 * opt.traffic.read_bytes
+
+    def test_original_much_slower(self):
+        opt = run_workload("art", cores=2, preset="tiny")
+        orig = run_workload("art", cores=2, preset="tiny",
+                            overrides={"layout": "original"})
+        assert orig.exec_time_fs > 2 * opt.exec_time_fs
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError, match="layout"):
+            run_workload("art", cores=2, preset="tiny",
+                         overrides={"layout": "middle"})
+
+    def test_streaming_always_uses_dense_layout(self):
+        """'original' layout is meaningless when streaming: it is ignored."""
+        r = run_workload("art", "str", cores=2, preset="tiny",
+                         overrides={"layout": "original"})
+        dense = run_workload("art", "str", cores=2, preset="tiny")
+        assert r.exec_time_fs == dense.exec_time_fs
+
+
+class TestJpeg:
+    def test_encode_read_dominated(self):
+        r = run_workload("jpeg_enc", cores=4, preset="tiny")
+        assert r.traffic.read_bytes > 3 * r.traffic.write_bytes
+
+    def test_decode_write_dominated(self):
+        r = run_workload("jpeg_dec", cores=4, preset="tiny")
+        assert r.traffic.write_bytes > 2 * (r.traffic.read_bytes
+                                            - r.traffic.write_bytes)
+
+    def test_mirrored_behaviour(self):
+        """Encode reads a lot / writes little; decode the opposite (4.2)."""
+        enc = run_workload("jpeg_enc", cores=4, preset="tiny")
+        dec = run_workload("jpeg_dec", cores=4, preset="tiny")
+        assert enc.traffic.read_bytes > enc.traffic.write_bytes
+        assert dec.traffic.write_bytes > dec.traffic.read_bytes / 2
+
+
+class TestDepthAndFem:
+    def test_depth_compute_bound(self):
+        r = run_workload("depth", cores=4, preset="tiny")
+        assert r.breakdown.fractions()["useful"] > 0.6
+
+    def test_fem_iterations_scale_traffic(self):
+        short = run_workload("fem", cores=2, preset="tiny")
+        long = run_workload("fem", cores=2, preset="tiny",
+                            overrides={"iterations": 6})
+        assert long.instructions > 2 * short.instructions
+
+
+class TestRaytracerSoftwareCache:
+    """Section 2.3: emulating a cache in the local store costs extra
+    instructions — which is why the paper's streaming raytracer reads
+    the KD-tree through a hardware cache instead."""
+
+    def test_software_cache_executes_more_instructions(self):
+        hw = run_workload("raytracer", "str", cores=4, preset="tiny")
+        sw = run_workload("raytracer", "str", cores=4, preset="tiny",
+                          overrides={"tree_access": "software_cache"})
+        assert sw.instructions > 1.1 * hw.instructions
+
+    def test_software_cache_is_slower(self):
+        hw = run_workload("raytracer", "str", cores=4, preset="tiny")
+        sw = run_workload("raytracer", "str", cores=4, preset="tiny",
+                          overrides={"tree_access": "software_cache"})
+        assert sw.exec_time_fs > hw.exec_time_fs
+
+    def test_software_cache_bypasses_the_hardware_cache(self):
+        sw = run_workload("raytracer", "str", cores=2, preset="tiny",
+                          overrides={"tree_access": "software_cache"})
+        # Tree reads go through the DMA engine, not load_line: the only
+        # cached loads left would be none at all.
+        assert sw.stats["l1.load_ops"] == 0
+        assert sw.stats["dma.commands"] > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="tree_access"):
+            run_workload("raytracer", "str", cores=2, preset="tiny",
+                         overrides={"tree_access": "magic"})
+
+    def test_cached_variant_ignores_the_knob(self):
+        r = run_workload("raytracer", "cc", cores=2, preset="tiny",
+                         overrides={"tree_access": "software_cache"})
+        assert r.stats["l1.load_ops"] > 0

@@ -1,0 +1,78 @@
+"""FIR-specific behaviour: the canonical bandwidth-sensitive kernel."""
+
+import pytest
+
+from repro import MachineConfig, run_workload
+from repro.workloads import get_workload
+from repro.workloads.fir import FirWorkload
+
+
+class TestTrafficStory:
+    def test_compulsory_traffic_exact(self):
+        """CC moves exactly in + refill + out; STR exactly in + out."""
+        n_bytes = 4 * (1 << 12)
+        cc = run_workload("fir", "cc", cores=4, preset="tiny")
+        st = run_workload("fir", "str", cores=4, preset="tiny")
+        assert cc.traffic.read_bytes == 2 * n_bytes     # input + refills
+        assert cc.traffic.write_bytes == n_bytes
+        assert st.traffic.read_bytes == n_bytes         # input only
+        assert st.traffic.write_bytes == n_bytes
+
+    def test_pfs_removes_exactly_the_refills(self):
+        n_bytes = 4 * (1 << 12)
+        pfs = run_workload("fir", "cc", cores=4, preset="tiny",
+                           overrides={"pfs": True})
+        assert pfs.traffic.read_bytes == n_bytes
+        assert pfs.stats["l1.refills_avoided"] == n_bytes // 32
+
+    def test_every_sample_processed_once(self):
+        """Work conservation: instruction counts scale with input size."""
+        small = run_workload("fir", cores=2, preset="tiny")
+        double = run_workload("fir", cores=2, preset="tiny",
+                              overrides={"n_samples": 1 << 13})
+        assert double.instructions == pytest.approx(2 * small.instructions,
+                                                    rel=0.01)
+
+
+class TestPartitioning:
+    def test_uneven_partitions_cover_everything(self):
+        """3 cores over a power-of-two input still read every byte."""
+        r = run_workload("fir", cores=3, preset="tiny")
+        assert r.traffic.read_bytes >= 4 * (1 << 12)
+
+    def test_more_cores_than_blocks_is_fine(self):
+        r = run_workload("fir", "str", cores=16, preset="tiny",
+                         overrides={"n_samples": 1 << 10})
+        assert r.exec_time_fs > 0
+
+
+class TestStreamingDoubleBuffer:
+    def test_dma_commands_match_block_count(self):
+        cfg = MachineConfig(num_cores=1).with_model("str")
+        program = get_workload("fir").build("str", cfg, preset="tiny")
+        from repro.core.system import CmpSystem
+
+        system = CmpSystem(cfg, program)
+        system.run()
+        n_blocks = (1 << 12) // 128
+        # One get and one put per block.
+        assert system.hierarchy.dma_commands == 2 * n_blocks
+
+    def test_instruction_overhead_for_dma_management(self):
+        """Section 5.1: streaming FIR executes ~14% more instructions."""
+        cc = run_workload("fir", "cc", cores=1, preset="tiny")
+        st = run_workload("fir", "str", cores=1, preset="tiny")
+        overhead = st.instructions / cc.instructions - 1
+        assert 0.05 < overhead < 0.25
+
+
+class TestPresets:
+    def test_preset_scales_ordered(self):
+        p = FirWorkload.presets
+        assert (p["tiny"]["n_samples"] < p["small"]["n_samples"]
+                < p["default"]["n_samples"])
+
+    def test_default_exceeds_l2(self):
+        cfg = MachineConfig()
+        footprint = 2 * FirWorkload.presets["default"]["n_samples"] * 4
+        assert footprint > 2 * cfg.l2.capacity_bytes

@@ -1,0 +1,107 @@
+"""Deeper structural coverage for JPEG, depth extraction, and H.264."""
+
+import pytest
+
+from repro import MachineConfig, run_workload
+from repro.core.system import CmpSystem
+from repro.workloads.depth import TILE, DepthWorkload
+from repro.workloads.h264 import H264Workload, wavefront_diagonals
+from repro.workloads.jpeg import BLOCK, JpegDecodeWorkload, JpegEncodeWorkload
+
+
+class TestJpegStructure:
+    def test_band_loads_cover_every_pixel_once(self):
+        cfg = MachineConfig(num_cores=1)
+        program = JpegEncodeWorkload().build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        system.run()
+        p = JpegEncodeWorkload.presets["tiny"]
+        pixel_lines = p["images"] * p["img_w"] * p["img_h"] // 32
+        # Pixel reads dominate; compressed writes add a few more ops.
+        assert system.hierarchy.load_ops >= pixel_lines
+
+    def test_enc_dec_traffic_mirror(self):
+        """Encode's reads match decode's writes (same pixel volume)."""
+        enc = run_workload("jpeg_enc", cores=2, preset="tiny")
+        dec = run_workload("jpeg_dec", cores=2, preset="tiny")
+        p = JpegEncodeWorkload.presets["tiny"]
+        pixels = p["images"] * p["img_w"] * p["img_h"]
+        assert enc.traffic.read_bytes >= pixels
+        assert dec.traffic.write_bytes >= pixels
+
+    def test_decode_pfs_override(self):
+        base = run_workload("jpeg_dec", cores=2, preset="tiny")
+        pfs = run_workload("jpeg_dec", cores=2, preset="tiny",
+                           overrides={"pfs": True})
+        assert pfs.traffic.read_bytes < base.traffic.read_bytes
+
+    def test_encode_ignores_pfs(self):
+        """PFS only applies to decode's pixel output stream."""
+        base = run_workload("jpeg_enc", cores=2, preset="tiny")
+        pfs = run_workload("jpeg_enc", cores=2, preset="tiny",
+                           overrides={"pfs": True})
+        assert pfs.traffic.read_bytes == base.traffic.read_bytes
+
+    def test_block_constant(self):
+        assert BLOCK == 8
+
+
+class TestDepthStructure:
+    def test_static_assignment_no_queue_contention(self):
+        """Blocks are statically assigned (Section 4.2): no task queue."""
+        cfg = MachineConfig(num_cores=4)
+        program = DepthWorkload().build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        result = system.run()
+        # All sync time comes from the per-frame barrier only.
+        fractions = result.breakdown.fractions()
+        assert fractions["sync"] < 0.15
+
+    def test_search_strip_wider_than_tile(self):
+        p = DepthWorkload.presets["tiny"]
+        assert p["disparity"] > 0
+        cfg = MachineConfig(num_cores=1)
+        program = DepthWorkload().build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        system.run()
+        # Right-image strip reads exceed left-tile reads.
+        frame = p["width"] * p["height"]
+        assert system.hierarchy.load_ops * 32 > 2 * frame
+
+    def test_tile_constant(self):
+        assert TILE == 32
+
+
+class TestH264Structure:
+    def test_every_frame_processes_all_macroblocks(self):
+        cfg = MachineConfig(num_cores=2)
+        program = H264Workload().build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        result = system.run()
+        p = H264Workload.presets["tiny"]
+        n_mbs = (p["width"] // 16) * (p["height"] // 16) * p["frames"]
+        # One mode-data store per macroblock.
+        assert result.stats["l1.store_ops"] >= n_mbs
+
+    def test_neighbour_mode_data_is_shared(self):
+        """Wavefront neighbours exchange mode records: coherence traffic."""
+        cfg = MachineConfig(num_cores=4)
+        program = H264Workload().build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        system.run()
+        assert system.hierarchy.cache_to_cache > 0
+
+    def test_streaming_saves_boundary_compute(self):
+        """Section 5.1: the streaming H.264 exploits boundary-condition
+        optimizations — slightly fewer useful cycles."""
+        cc = run_workload("h264", "cc", cores=2, preset="tiny")
+        st = run_workload("h264", "str", cores=2, preset="tiny")
+        assert st.breakdown.useful_fs < cc.breakdown.useful_fs
+
+    def test_single_column_grid(self):
+        diags = wavefront_diagonals(1, 4)
+        assert [len(d) for d in diags].count(1) == 4
+
+    def test_single_row_grid(self):
+        diags = wavefront_diagonals(5, 1)
+        assert len(diags) == 5

@@ -1,0 +1,93 @@
+"""MPEG-2 structural tests: frame buffers, segments, variants."""
+
+import pytest
+
+from repro import MachineConfig, run_workload
+from repro.core.system import CmpSystem
+from repro.workloads.mpeg2 import MB, Mpeg2Workload
+
+
+class TestFrameLayout:
+    def test_each_frame_has_its_own_input_buffer(self):
+        """Frame reads must stay compulsory (distinct buffers per frame)."""
+        cfg = MachineConfig(num_cores=2)
+        program = Mpeg2Workload().build("cc", cfg, preset="tiny")
+        currents = [r for r in program.arena.regions if r.startswith("current")]
+        assert len(currents) == Mpeg2Workload.presets["tiny"]["frames"]
+
+    def test_reference_is_previous_reconstruction(self):
+        wl = Mpeg2Workload()
+        from repro.workloads.base import Arena
+
+        params = dict(wl.presets["tiny"], frames=4)
+        arena = Arena()
+        curs, refs, recons, _bits = wl._frames_layout(arena, params)
+        assert len(curs) == len(refs) == len(recons) == 4
+        # Frame f's reference is frame f-1's reconstruction buffer.
+        for f in range(1, 4):
+            assert refs[f] == recons[f - 1]
+        # Reconstruction ping-pongs between two buffers.
+        assert recons[0] == recons[2] != recons[1]
+
+    def test_misaligned_frames_rejected(self):
+        with pytest.raises(ValueError, match="macroblock"):
+            run_workload("mpeg2", cores=2, preset="tiny",
+                         overrides={"width": 60})
+
+
+class TestSegments:
+    def test_segments_cover_every_macroblock(self):
+        segments = Mpeg2Workload._segments(22, 18)
+        seen = set()
+        for y, x0, x1 in segments:
+            assert 0 <= x0 < x1 <= 22
+            for x in range(x0, x1):
+                key = (x, y)
+                assert key not in seen
+                seen.add(key)
+        assert len(seen) == 22 * 18
+
+    def test_segments_keep_horizontal_adjacency(self):
+        """Each segment is a run of adjacent macroblocks in one row."""
+        for y, x0, x1 in Mpeg2Workload._segments(22, 18):
+            assert x1 - x0 >= 2
+
+    def test_window_reuse_keeps_misses_low(self):
+        """With segment tasks, the fused encoder misses far less than the
+        no-reuse bound (one line per fresh byte)."""
+        cfg = MachineConfig(num_cores=4)
+        program = Mpeg2Workload().build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        system.run()
+        params = Mpeg2Workload.presets["tiny"]
+        n_mbs = (params["width"] // MB) * (params["height"] // MB) \
+            * params["frames"]
+        misses_per_mb = system.hierarchy.load_misses / n_mbs
+        # Full window + current ~ 120 half-line reads; reuse must cut it
+        # by well over half.
+        assert misses_per_mb < 60
+
+
+class TestVariantsAgree:
+    def test_both_structures_write_the_same_output(self):
+        """ORIG and OPT reconstruct the same frames: equal write traffic
+        within the tolerance of temporary-array spills."""
+        opt = run_workload("mpeg2", cores=2, preset="tiny")
+        orig = run_workload("mpeg2", cores=2, preset="tiny",
+                            overrides={"structure": "original",
+                                       "icache_miss_per_mb": 0})
+        # ORIG writes at least everything OPT writes (plus temporaries).
+        assert orig.traffic.write_bytes >= opt.traffic.write_bytes
+
+    def test_streaming_and_cached_compute_parity(self):
+        cc = run_workload("mpeg2", "cc", cores=2, preset="tiny")
+        st = run_workload("mpeg2", "str", cores=2, preset="tiny")
+        assert st.breakdown.useful_fs == pytest.approx(
+            cc.breakdown.useful_fs, rel=0.15)
+
+    def test_icache_knob_changes_useful_time(self):
+        with_misses = run_workload("mpeg2", cores=2, preset="tiny",
+                                   overrides={"icache_miss_per_mb": 4})
+        without = run_workload("mpeg2", cores=2, preset="tiny",
+                               overrides={"icache_miss_per_mb": 0})
+        assert with_misses.breakdown.useful_fs > without.breakdown.useful_fs

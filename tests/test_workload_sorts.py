@@ -1,0 +1,105 @@
+"""Bitonic and merge sort workload internals."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig, run_workload
+from repro.workloads.sorts import (
+    BitonicSortWorkload,
+    MergeSortWorkload,
+    apply_bitonic_pass,
+    bitonic_pass_schedule,
+)
+
+
+class TestBitonicSchedule:
+    def test_full_network_sorts_random_input(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 1000, size=256).astype(np.int64)
+        for stride, block in bitonic_pass_schedule(256, full_network=True):
+            apply_bitonic_pass(arr, stride, block)
+        assert bool(np.all(arr[:-1] <= arr[1:]))
+
+    def test_full_network_pass_count(self):
+        n = 1 << 10
+        k = 10
+        assert len(bitonic_pass_schedule(n, True)) == k * (k + 1) // 2
+
+    def test_final_merge_pass_count(self):
+        assert len(bitonic_pass_schedule(1 << 10, False)) == 10
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            bitonic_pass_schedule(100, True)
+
+    def test_modified_mask_matches_actual_changes(self):
+        rng = np.random.default_rng(1)
+        arr = rng.integers(0, 1000, size=128).astype(np.int64)
+        before = arr.copy()
+        modified = apply_bitonic_pass(arr, 16, 128)
+        assert bool(np.all((arr != before) <= modified))
+        # Every flagged element really belongs to a swapped pair.
+        changed = arr != before
+        pair_swapped = changed | changed[
+            np.arange(128) ^ 16  # the partner of each element
+        ]
+        assert bool(np.all(modified == pair_swapped))
+
+    def test_nearly_sorted_input_modifies_few_lines(self):
+        """The Section 5.1 premise: most bitonic lines are unswapped."""
+        wl = BitonicSortWorkload()
+        params = dict(wl.presets["default"], n_keys=1 << 14)
+        _, _, passes = wl._prepare(params)
+        dirty_fraction = np.mean([d.mean() for _, d in passes])
+        assert dirty_fraction < 0.6
+
+    def test_tiny_preset_sorts(self):
+        wl = BitonicSortWorkload()
+        wl._prepare(dict(wl.presets["tiny"]))
+        arr = wl.last_sorted
+        assert bool(np.all(arr[:-1] <= arr[1:]))
+
+
+class TestBitonicTraffic:
+    def test_streaming_writes_everything_cached_writes_dirty(self):
+        """STR writes back unmodified data; CC does not (Section 5.1)."""
+        cc = run_workload("bitonic", "cc", cores=4, preset="tiny")
+        st = run_workload("bitonic", "str", cores=4, preset="tiny")
+        assert st.traffic.write_bytes >= cc.traffic.write_bytes
+
+    def test_in_place_no_double_buffer(self):
+        """Bitonic is in situ: one keys region only."""
+        cfg = MachineConfig(num_cores=2)
+        program = BitonicSortWorkload().build("cc", cfg, preset="tiny")
+        assert set(program.arena.regions) == {"keys"}
+
+
+class TestMergeSort:
+    def test_levels_validation(self):
+        assert MergeSortWorkload._levels(1 << 11, 256) == 3
+        with pytest.raises(ValueError):
+            MergeSortWorkload._levels(1000, 256)
+
+    def test_ping_pong_buffers_allocated(self):
+        cfg = MachineConfig(num_cores=2)
+        program = MergeSortWorkload().build("cc", cfg, preset="tiny")
+        assert {"buffer_a", "buffer_b"} <= set(program.arena.regions)
+
+    def test_parallelism_shrinks_with_levels(self):
+        """At high core counts the last merges leave cores idle: sync grows."""
+        r4 = run_workload("merge", cores=4, preset="tiny")
+        r16 = run_workload("merge", cores=16, preset="tiny")
+        assert (r16.breakdown.sync_fs / r16.breakdown.total_fs
+                > r4.breakdown.sync_fs / r4.breakdown.total_fs)
+
+    def test_pfs_override_reduces_read_traffic(self):
+        base = run_workload("merge", cores=4, preset="tiny")
+        pfs = run_workload("merge", cores=4, preset="tiny",
+                           overrides={"pfs": True})
+        assert pfs.traffic.read_bytes < base.traffic.read_bytes
+
+    def test_output_refills_present_without_pfs(self):
+        """CC merge reads more than the input size: superfluous refills."""
+        r = run_workload("merge", cores=2, preset="tiny")
+        input_bytes = 4 * (1 << 11)
+        assert r.traffic.read_bytes > input_bytes

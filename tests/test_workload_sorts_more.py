@@ -1,0 +1,101 @@
+"""Additional sort coverage: pass scheduling, partner geometry, STR blocks."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig, run_workload
+from repro.core.system import CmpSystem
+from repro.workloads.sorts import (
+    BitonicSortWorkload,
+    MergeSortWorkload,
+    apply_bitonic_pass,
+    bitonic_pass_schedule,
+)
+
+
+class TestPassGeometry:
+    def test_final_merge_strides_halve(self):
+        schedule = bitonic_pass_schedule(1 << 8, full_network=False)
+        strides = [s for s, _ in schedule]
+        assert strides == [128, 64, 32, 16, 8, 4, 2, 1]
+
+    def test_full_network_blocks_grow(self):
+        schedule = bitonic_pass_schedule(16, full_network=True)
+        blocks = [b for _, b in schedule]
+        assert blocks == [2, 4, 4, 8, 8, 8, 16, 16, 16, 16]
+
+    def test_pass_is_involution_free(self):
+        """Applying the same ascending pass twice changes nothing more."""
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 100, size=64).astype(np.int64)
+        apply_bitonic_pass(arr, 8, 64)
+        snapshot = arr.copy()
+        modified = apply_bitonic_pass(arr, 8, 64)
+        assert not modified.any()
+        assert np.array_equal(arr, snapshot)
+
+    def test_descending_blocks_sort_descending(self):
+        arr = np.array([1, 2, 3, 4], dtype=np.int64)
+        # block=2: pairs alternate ascending/descending.
+        apply_bitonic_pass(arr, 1, 2)
+        assert list(arr) == [1, 2, 4, 3]
+
+
+class TestBitonicEmission:
+    def test_cc_reads_every_line_once_per_pass(self):
+        cfg = MachineConfig(num_cores=1)
+        program = BitonicSortWorkload().build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        system.run()
+        params = BitonicSortWorkload.presets["tiny"]
+        n_lines = params["n_keys"] // 8
+        n_passes = len(bitonic_pass_schedule(params["n_keys"],
+                                             params["full_network"]))
+        assert system.hierarchy.load_ops == n_lines * n_passes
+
+    def test_str_put_counts_cover_all_blocks(self):
+        cfg = MachineConfig(num_cores=1).with_model("str")
+        program = BitonicSortWorkload().build("str", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        system.run()
+        params = BitonicSortWorkload.presets["tiny"]
+        n_blocks = params["n_keys"] // params["block_keys"]
+        n_passes = len(bitonic_pass_schedule(params["n_keys"],
+                                             params["full_network"]))
+        puts = sum(e.bytes_written for e in system.hierarchy.dma_engines)
+        # Every block written back every pass, modified or not.
+        assert puts == n_passes * n_blocks * params["block_keys"] * 4
+
+
+class TestMergeEmission:
+    def test_total_keys_merged_per_level(self):
+        """Every level reads and writes the whole array once."""
+        cfg = MachineConfig(num_cores=2)
+        program = MergeSortWorkload().build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        system.run()
+        params = MergeSortWorkload.presets["tiny"]
+        n_lines = params["n_keys"] * 4 // 32
+        levels = MergeSortWorkload._levels(params["n_keys"],
+                                           params["chunk_keys"])
+        chunk_lines = params["chunk_keys"] * 4 // 32
+        expected_loads = (params["n_keys"] // params["chunk_keys"]) \
+            * chunk_lines + levels * n_lines
+        assert system.hierarchy.load_ops == expected_loads
+
+    def test_ping_pong_ends_in_predictable_buffer(self):
+        """With an even level count the result lands back in buffer A."""
+        params = MergeSortWorkload.presets["tiny"]
+        levels = MergeSortWorkload._levels(params["n_keys"],
+                                           params["chunk_keys"])
+        assert levels == 3   # documents the tiny preset's shape
+
+    def test_merge_output_traffic_without_pfs(self):
+        """CC merge refills its output buffer at every level."""
+        r = run_workload("merge", cores=2, preset="tiny")
+        pfs = run_workload("merge", cores=2, preset="tiny",
+                           overrides={"pfs": True})
+        saved = r.traffic.read_bytes - pfs.traffic.read_bytes
+        assert saved > 0
+        # Refill savings are a whole number of cache lines.
+        assert saved % 32 == 0

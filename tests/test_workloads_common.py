@@ -1,0 +1,150 @@
+"""Properties every workload must satisfy, in both memory models."""
+
+import pytest
+
+from repro.config import MachineConfig, MemoryModel
+from repro.core import ops as op_mod
+from repro.core.system import CmpSystem, run_program
+from repro.workloads import get_workload, workload_names
+from repro.workloads.base import Env
+
+ALL = workload_names()
+MODELS = ["cc", "str"]
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.parametrize("model", MODELS)
+class TestEveryWorkload:
+    def test_builds_one_thread_per_core(self, name, model):
+        cfg = MachineConfig(num_cores=8).with_model(model)
+        program = get_workload(name).build(model, cfg, preset="tiny")
+        assert program.num_threads == 8
+
+    def test_runs_to_completion(self, name, model):
+        cfg = MachineConfig(num_cores=4).with_model(model)
+        program = get_workload(name).build(model, cfg, preset="tiny")
+        result = run_program(cfg, program)
+        assert result.exec_time_fs > 0
+        assert result.instructions > 0
+
+    def test_runs_on_one_core(self, name, model):
+        """Sequential execution must work (it is every figure's baseline)."""
+        cfg = MachineConfig(num_cores=1).with_model(model)
+        program = get_workload(name).build(model, cfg, preset="tiny")
+        result = run_program(cfg, program)
+        assert result.exec_time_fs > 0
+
+    def test_runs_on_sixteen_cores(self, name, model):
+        cfg = MachineConfig(num_cores=16).with_model(model)
+        program = get_workload(name).build(model, cfg, preset="tiny")
+        result = run_program(cfg, program)
+        assert result.exec_time_fs > 0
+
+    def test_produces_offchip_traffic(self, name, model):
+        cfg = MachineConfig(num_cores=4).with_model(model)
+        program = get_workload(name).build(model, cfg, preset="tiny")
+        result = run_program(cfg, program)
+        assert result.traffic.total_bytes > 0
+
+
+def drain_ops(program, system, limit=50000):
+    """Functionally execute the program's generators, yielding every op.
+
+    Task pops are serviced from the real queue (so task-driven loops make
+    progress); barriers and locks are skipped (no timing here).
+    """
+    emitted = 0
+    for thread in program.threads(system):
+        value = None
+        while emitted < limit:
+            try:
+                op = thread.send(value)
+            except StopIteration:
+                break
+            value = None
+            if op[0] == "pop":
+                queue = op[1]
+                value = queue._items.popleft() if queue._items else None
+                continue
+            emitted += 1
+            yield op
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestAddressDiscipline:
+    def test_cached_accesses_stay_inside_arena(self, name):
+        """Every load/store address falls inside an allocated region."""
+        cfg = MachineConfig(num_cores=2)
+        program = get_workload(name).build("cc", cfg, preset="tiny")
+        arena = program.arena
+        system = CmpSystem(cfg, program)
+        checked = 0
+        for op in drain_ops(program, system):
+            if op[0] in ("ld", "st", "pfs"):
+                _, addr, nbytes, _ = op
+                assert arena.contains(addr, nbytes), (
+                    f"{name}: access [{addr:#x}, +{nbytes}) outside arena"
+                )
+                checked += 1
+        assert checked > 0
+
+    def test_streaming_dma_stays_inside_arena(self, name):
+        cfg = MachineConfig(num_cores=2).with_model("str")
+        program = get_workload(name).build("str", cfg, preset="tiny")
+        arena = program.arena
+        system = CmpSystem(cfg, program)
+        checked = 0
+        for op in drain_ops(program, system):
+            if op[0] in ("dget", "dput"):
+                _, _tag, addr, nbytes, stride, block = op
+                if stride == 0:
+                    assert arena.contains(addr, nbytes), (
+                        f"{name}: DMA [{addr:#x}, +{nbytes}) outside arena"
+                    )
+                else:
+                    n_blocks = -(-nbytes // block)
+                    last = addr + (n_blocks - 1) * stride
+                    assert arena.contains(addr, 1)
+                    assert arena.contains(last, min(block, nbytes)), (
+                        f"{name}: strided DMA tail {last:#x} outside arena"
+                    )
+                checked += 1
+        assert checked > 0
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestWorkUnaffectedByModel:
+    def test_same_arena_layout(self, name):
+        """Both variants operate on the same logical data."""
+        cfg_cc = MachineConfig(num_cores=2)
+        cfg_str = cfg_cc.with_model("str")
+        wl = get_workload(name)
+        a = wl.build("cc", cfg_cc, preset="tiny").arena
+        b = wl.build("str", cfg_str, preset="tiny").arena
+        shared = set(a.regions) & set(b.regions)
+        assert shared, f"{name}: no common regions between variants"
+        for region in shared:
+            assert a.regions[region][1] == b.regions[region][1]
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_local_store_budget_respected(name):
+    """Streaming variants must fit the 24 KB local store at any scale."""
+    for preset in ("tiny", "small", "default"):
+        cfg = MachineConfig(num_cores=2).with_model("str")
+        program = get_workload(name).build("str", cfg, preset=preset)
+        system = CmpSystem(cfg, program)
+        threads = program.threads(system)
+        # Drive each generator one step so allocations (which happen at
+        # the top of each thread body) execute.
+        for thread in threads:
+            next(thread, None)
+        for store in system.hierarchy.local_stores:
+            assert store.allocated_bytes <= store.capacity_bytes
+
+
+def test_workload_names_stable():
+    assert workload_names() == sorted([
+        "mpeg2", "h264", "raytracer", "jpeg_enc", "jpeg_dec", "depth",
+        "fem", "fir", "art", "bitonic", "merge",
+    ])
