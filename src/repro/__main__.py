@@ -7,6 +7,7 @@ Usage::
     python -m repro figure2 --preset small
     python -m repro table3
     python -m repro all --preset small
+    python -m repro analysis check-protocol
 
 ``figureN`` / ``table3`` commands print the experiment's paper-style
 rows; ``run`` executes one workload/configuration and prints the full
@@ -82,6 +83,13 @@ def _build_parser() -> argparse.ArgumentParser:
     all_p = sub.add_parser("all", help="regenerate every table and figure")
     all_p.add_argument("--preset", default="default",
                        choices=["default", "small", "tiny"])
+
+    analysis_p = sub.add_parser(
+        "analysis",
+        help="verification passes (model checker, monitors, lint); "
+             "see 'python -m repro.analysis --help'")
+    analysis_p.add_argument("analysis_args", nargs=argparse.REMAINDER,
+                            help="arguments forwarded to repro.analysis")
     return parser
 
 
@@ -104,6 +112,10 @@ def _print_run(result) -> None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "analysis":
+        from repro.analysis.__main__ import main as analysis_main
+
+        return analysis_main(args.analysis_args)
     if args.command == "list":
         for name in workload_names():
             print(name)

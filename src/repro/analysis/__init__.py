@@ -1,0 +1,59 @@
+"""Static analysis and verification for the simulator (``repro.analysis``).
+
+Three coordinated passes guard the reproduction against protocol and
+modeling regressions (see ``docs/ANALYSIS.md``):
+
+* :mod:`repro.analysis.model_check` — Murphi-style exhaustive BFS over
+  the MESI protocol for N caches and one line, with shortest
+  counterexample traces, run both on the declarative transition tables
+  and on the real hierarchy implementation;
+* :mod:`repro.analysis.monitors` — runtime invariant monitors attached
+  to a live simulation via ``MachineConfig(debug_invariants=True)``;
+* :mod:`repro.analysis.lint` — an AST lint pass enforcing repo-specific
+  rules (no wall-clock reads, integer timestamps, unit-suffix naming,
+  no mutable defaults, no bare asserts).
+
+Command line::
+
+    python -m repro.analysis check-protocol [--caches 4] [--broken BUG]
+    python -m repro.analysis lint [paths ...] [--json]
+    python -m repro.analysis monitor fir --model str --cores 8
+"""
+
+from repro.analysis.lint import Finding, lint_paths, lint_source, render_findings
+from repro.analysis.model_check import (BROKEN_TABLE_BUGS, CheckResult,
+                                        Counterexample, HierarchyModel,
+                                        ProtoState, TableModel,
+                                        broken_table_model, check_protocol,
+                                        cross_validate, run_full_check)
+from repro.analysis.monitors import (CoherenceMonitor, DmaRaceMonitor,
+                                     EventQueueMonitor, LocalStoreMonitor,
+                                     MonitorSet, attach_monitors)
+from repro.sim.kernel import InvariantViolation
+
+__all__ = [
+    "InvariantViolation",
+    # lint
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "render_findings",
+    # model checking
+    "BROKEN_TABLE_BUGS",
+    "CheckResult",
+    "Counterexample",
+    "HierarchyModel",
+    "ProtoState",
+    "TableModel",
+    "broken_table_model",
+    "check_protocol",
+    "cross_validate",
+    "run_full_check",
+    # monitors
+    "CoherenceMonitor",
+    "DmaRaceMonitor",
+    "EventQueueMonitor",
+    "LocalStoreMonitor",
+    "MonitorSet",
+    "attach_monitors",
+]

@@ -290,6 +290,12 @@ class MachineConfig:
     interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
     stream: StreamConfig = field(default_factory=StreamConfig)
     quantum_cycles: int = 200
+    #: Attach the runtime invariant monitors of repro.analysis.monitors:
+    #: every memory-system state change is checked for coherence, DMA
+    #: overlap, local-store, and event-queue invariants, and violations
+    #: raise InvariantViolation with cycle-stamped context.  Costs
+    #: simulation speed; off by default.
+    debug_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
@@ -333,6 +339,10 @@ class MachineConfig:
     def with_model(self, model: MemoryModel | str) -> "MachineConfig":
         """Copy under a different memory model."""
         return self.with_(model=MemoryModel.parse(model))
+
+    def with_debug_invariants(self, enabled: bool = True) -> "MachineConfig":
+        """Copy with the runtime invariant monitors on (or off)."""
+        return self.with_(debug_invariants=enabled)
 
 
     # ------------------------------------------------------------------
@@ -381,7 +391,8 @@ class MachineConfig:
                 kwargs["coherence"] = CoherenceKind(value)
             elif key in builders:
                 kwargs[key] = builders[key](value)
-            elif key in ("num_cores", "l2_latency_ns", "quantum_cycles"):
+            elif key in ("num_cores", "l2_latency_ns", "quantum_cycles",
+                         "debug_invariants"):
                 kwargs[key] = value
             else:
                 raise ValueError(f"unknown configuration key {key!r}")

@@ -55,6 +55,13 @@ class CmpSystem:
         self._finished = 0
         self.exec_time_fs = 0
         self.settled_fs = 0
+        self.monitors = None
+        if config.debug_invariants:
+            # Imported lazily: repro.analysis depends on repro.mem and
+            # would otherwise create an import cycle.
+            from repro.analysis.monitors import attach_monitors
+
+            self.monitors = attach_monitors(self)
 
     def core_finished(self, processor) -> None:
         """Processor callback: record a core's completion time."""

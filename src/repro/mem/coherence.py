@@ -1,16 +1,29 @@
-"""MESI coherence states and legal-transition checking.
+"""MESI coherence states, the protocol transition table, and invariants.
 
 The cache-coherent model of the paper keeps L1 caches coherent with the
 MESI write-invalidate protocol; requests are broadcast first within a
 cluster and then to all clusters (Section 3.2).  The state machine here is
-shared by the hierarchy walker and by the protocol tests, which verify the
-global single-writer / multiple-reader invariant on random access
-interleavings.
+shared by three consumers:
+
+* the hierarchy walker (:mod:`repro.mem.hierarchy`), which implements the
+  timed version of the protocol,
+* the protocol tests, which verify the global single-writer /
+  multiple-reader invariant on random access interleavings, and
+* the exhaustive model checker (:mod:`repro.analysis.model_check`), which
+  explores every reachable protocol state for N caches and one line.
+
+The declarative tables :data:`REQUESTER_TRANSITIONS` and
+:data:`SNOOP_TRANSITIONS` are the protocol's specification;
+``tests/test_analysis_model_check.py`` cross-validates them against the
+behaviour of the real :class:`~repro.mem.hierarchy.CacheCoherentHierarchy`
+so the spec cannot silently drift from the implementation.
 """
 
 from __future__ import annotations
 
 import enum
+
+from repro.sim.kernel import InvariantViolation
 
 
 class MesiState(enum.IntEnum):
@@ -37,18 +50,87 @@ class MesiState(enum.IntEnum):
         return self in (MesiState.MODIFIED, MesiState.EXCLUSIVE)
 
 
-def check_global_invariant(states: list[MesiState]) -> None:
-    """Assert the MESI single-writer invariant over all caches' states for one line.
+class MesiEvent(enum.Enum):
+    """The demand events the protocol reacts to, per core and line."""
+
+    LOAD = "load"    # the core reads the line
+    STORE = "store"  # the core writes the line (write-allocate)
+    EVICT = "evict"  # the core's cache drops the line (capacity/replacement)
+
+
+#: Next state of the *requesting* cache, keyed by (current state, event,
+#: another-valid-copy-exists).  The third key component captures the one
+#: place MESI is context-sensitive: a load miss fills EXCLUSIVE when no
+#: other cache holds the line and SHARED otherwise.
+REQUESTER_TRANSITIONS: dict[tuple[MesiState, MesiEvent, bool], MesiState] = {}
+for _others in (False, True):
+    # Loads: hits keep their state; a miss fills E (alone) or S (shared).
+    REQUESTER_TRANSITIONS[(MesiState.INVALID, MesiEvent.LOAD, _others)] = (
+        MesiState.SHARED if _others else MesiState.EXCLUSIVE)
+    for _s in (MesiState.SHARED, MesiState.EXCLUSIVE, MesiState.MODIFIED):
+        REQUESTER_TRANSITIONS[(_s, MesiEvent.LOAD, _others)] = _s
+    # Stores always end MODIFIED (S upgrades, E silently converts).
+    for _s in MesiState:
+        REQUESTER_TRANSITIONS[(_s, MesiEvent.STORE, _others)] = MesiState.MODIFIED
+    # Evictions always end INVALID (M writes back first).
+    for _s in MesiState:
+        REQUESTER_TRANSITIONS[(_s, MesiEvent.EVICT, _others)] = MesiState.INVALID
+del _others, _s
+
+#: Next state of every *other* cache when it observes a peer's event.
+#: Observing a peer's LOAD downgrades owners to SHARED (M supplies the
+#: dirty data and writes it back); observing a peer's STORE invalidates.
+#: Evictions are purely local and do not disturb peers.
+SNOOP_TRANSITIONS: dict[tuple[MesiState, MesiEvent], MesiState] = {}
+for _s in MesiState:
+    SNOOP_TRANSITIONS[(_s, MesiEvent.LOAD)] = (
+        MesiState.INVALID if _s is MesiState.INVALID else MesiState.SHARED)
+    SNOOP_TRANSITIONS[(_s, MesiEvent.STORE)] = MesiState.INVALID
+    SNOOP_TRANSITIONS[(_s, MesiEvent.EVICT)] = _s
+del _s
+
+
+def apply_event(states: tuple[MesiState, ...], core: int, event: MesiEvent,
+                requester_transitions: dict | None = None,
+                snoop_transitions: dict | None = None) -> tuple[MesiState, ...]:
+    """Apply one demand event to the per-cache states of a single line.
+
+    Pure function over the declarative tables; the model checker passes
+    deliberately mutated tables to prove it can detect protocol bugs.
+    """
+    req = REQUESTER_TRANSITIONS if requester_transitions is None \
+        else requester_transitions
+    snp = SNOOP_TRANSITIONS if snoop_transitions is None else snoop_transitions
+    others_valid = any(
+        s is not MesiState.INVALID for i, s in enumerate(states) if i != core)
+    out = [snp[(s, event)] for s in states]
+    out[core] = req[(states[core], event, others_valid)]
+    return tuple(out)
+
+
+def check_global_invariant(states: list[MesiState] | tuple[MesiState, ...],
+                           *, now_fs: int | None = None,
+                           line: int | None = None) -> None:
+    """Check the MESI single-writer invariant over all caches' states for one line.
 
     * at most one cache may hold the line M or E;
     * if any cache holds M or E, every other cache must hold I.
 
-    Raises ``AssertionError`` with a descriptive message on violation.
-    Used by tests and (optionally) by the hierarchy's debug mode.
+    Raises :class:`~repro.sim.kernel.InvariantViolation` (a
+    :class:`~repro.sim.kernel.SimulationError` that, as a deprecation
+    shim, still subclasses ``AssertionError``) with a descriptive,
+    cycle-stamped message on violation.  Unlike a bare ``assert``, the
+    check survives ``python -O``.  Used by tests, the runtime invariant
+    monitors, and the hierarchy's debug mode.
     """
+    context: dict = {"states": [s.name for s in states]}
+    if line is not None:
+        context["line"] = line
     owners = [s for s in states if s in (MesiState.MODIFIED, MesiState.EXCLUSIVE)]
     sharers = [s for s in states if s is MesiState.SHARED]
     if len(owners) > 1:
-        raise AssertionError(f"multiple M/E holders: {states}")
+        raise InvariantViolation("multiple M/E holders",
+                                 now_fs=now_fs, context=context)
     if owners and sharers:
-        raise AssertionError(f"M/E holder coexists with S copies: {states}")
+        raise InvariantViolation("M/E holder coexists with S copies",
+                                 now_fs=now_fs, context=context)

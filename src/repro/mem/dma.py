@@ -42,6 +42,10 @@ class DmaEngine:
         self.commands = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        #: Optional invariant observer (repro.analysis.monitors), called
+        #: as ``observer(kind, engine, addr, nbytes, stride, block,
+        #: now_fs)`` with kind "get"/"put" before each command executes.
+        self.observer = None
 
     def _blocks(self, addr: int, nbytes: int, stride: int,
                 block: int | None) -> Iterable[tuple[int, int]]:
@@ -73,6 +77,8 @@ class DmaEngine:
     def get(self, now_fs: int, addr: int, nbytes: int,
             stride: int = 0, block: int | None = None) -> int:
         """Fetch from memory into the local store; returns completion time."""
+        if self.observer is not None:
+            self.observer("get", self, addr, nbytes, stride, block, now_fs)
         self.commands += 1
         self.bytes_read += nbytes
         start = max(now_fs, self._engine_free)
@@ -107,6 +113,8 @@ class DmaEngine:
         describes — "the L2 cache avoids refills on write misses when DMA
         transfers overwrite entire lines").
         """
+        if self.observer is not None:
+            self.observer("put", self, addr, nbytes, stride, block, now_fs)
         self.commands += 1
         self.bytes_written += nbytes
         start = max(now_fs, self._engine_free)

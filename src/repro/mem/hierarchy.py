@@ -201,6 +201,12 @@ class CacheCoherentHierarchy:
         #: Optional callable (now_fs, core, kind, line, latency_fs) invoked
         #: for every demand access; installed by repro.trace.TraceRecorder.
         self.trace_hook = None
+        #: Invariant observers (repro.analysis.monitors): each is notified
+        #: with (kind, core, line, now_fs, hierarchy) after every
+        #: state-changing line operation.  Empty unless the config's
+        #: ``debug_invariants`` flag attached monitors, so the hot path
+        #: pays one falsy check per operation.
+        self._observers: list = []
         # Statistics (line-granularity operations)
         self.load_ops = 0
         self.store_ops = 0
@@ -221,6 +227,33 @@ class CacheCoherentHierarchy:
         self.prefetch_useful = 0
         self.prefetch_late_fs = 0
         self.refills_avoided = 0
+
+    # ------------------------------------------------------------------
+    # Invariant observers (debug mode)
+    # ------------------------------------------------------------------
+
+    def register_observer(self, observer) -> None:
+        """Attach an invariant observer (see :mod:`repro.analysis.monitors`).
+
+        ``observer`` must be callable as
+        ``observer(kind, core, line, now_fs, hierarchy)`` where ``kind``
+        is one of ``"load"``, ``"store"``, ``"flush"``, ``"invalidate"``.
+        Observers run *after* the operation's state changes and may raise
+        :class:`~repro.sim.kernel.InvariantViolation`.
+        """
+        self._observers.append(observer)
+
+    def line_states(self, line: int) -> tuple[MesiState, ...]:
+        """The MESI state of ``line`` in every L1 (INVALID when absent)."""
+        return tuple(
+            entry.state if (entry := l1.lookup(line)) is not None
+            else MesiState.INVALID
+            for l1 in self.l1s
+        )
+
+    def _notify(self, kind: str, core: int, line: int, now_fs: int) -> None:
+        for observer in self._observers:
+            observer(kind, core, line, now_fs, self)
 
     # ------------------------------------------------------------------
     # Coherence helpers
@@ -454,6 +487,8 @@ class CacheCoherentHierarchy:
                     self._issue_prefetches(core, prefetcher.on_tagged_hit(line), now_fs)
             if self.trace_hook is not None:
                 self.trace_hook(now_fs, core, "ld", line, done - now_fs)
+            if self._observers:
+                self._notify("load", core, line, now_fs)
             return done
         self.load_misses += 1
         done = self._fetch(core, line, now_fs, for_write=False)
@@ -462,6 +497,8 @@ class CacheCoherentHierarchy:
             self._issue_prefetches(core, prefetcher.on_miss(line), now_fs)
         if self.trace_hook is not None:
             self.trace_hook(now_fs, core, "ld", line, done - now_fs)
+        if self._observers:
+            self._notify("load", core, line, now_fs)
         return done
 
     def store_line(self, core: int, line: int, now_fs: int,
@@ -485,6 +522,8 @@ class CacheCoherentHierarchy:
                     self.uncore.xbar.up[cluster].control(t)
             entry.state = MesiState.MODIFIED
             entry.prefetched = False
+            if self._observers:
+                self._notify("store", core, line, now_fs)
             return 0
         self.store_misses += 1
         if self._no_write_allocate and not no_allocate:
@@ -492,9 +531,13 @@ class CacheCoherentHierarchy:
             # without allocating in the L1.
             self._invalidate_peers(line, core)
             done = self.writeback(core, line, now_fs)
+            if self._observers:
+                self._notify("store", core, line, now_fs)
             return self.store_buffers[core].push(now_fs, done)
         refill = not no_allocate
         done = self._fetch(core, line, now_fs, for_write=True, refill=refill)
+        if self._observers:
+            self._notify("store", core, line, now_fs)
         return self.store_buffers[core].push(now_fs, done)
 
     # ------------------------------------------------------------------
@@ -516,6 +559,8 @@ class CacheCoherentHierarchy:
                 entry.state = MesiState.SHARED
                 self.flushes += 1
                 flushed = max(flushed, self.writeback(core, line, now_fs))
+                if self._observers:
+                    self._notify("flush", core, line, now_fs)
         return flushed
 
     def invalidate_range(self, core: int, first_line: int, last_line: int,
@@ -534,6 +579,8 @@ class CacheCoherentHierarchy:
                 if victim.state is MesiState.MODIFIED:
                     self.writeback(core, line, now_fs)
                     self.dirty_invalidates += 1
+                if self._observers:
+                    self._notify("invalidate", core, line, now_fs)
 
     # ------------------------------------------------------------------
     # End-of-run settling

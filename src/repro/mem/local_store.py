@@ -28,6 +28,11 @@ class LocalStore:
         self.writes = 0
         self.read_accesses = 0
         self.write_accesses = 0
+        self.high_water_bytes = 0
+        #: Optional invariant observer (repro.analysis.monitors), called as
+        #: ``observer(kind, store, offset, num_bytes)`` with kind
+        #: "alloc" / "access" after the local bounds checks pass.
+        self.observer = None
 
     def alloc(self, num_bytes: int, name: str = "buffer") -> int:
         """Reserve ``num_bytes``; returns the offset.  Raises on overflow."""
@@ -40,6 +45,10 @@ class LocalStore:
                 f"requested of {self.capacity_bytes}"
             )
         self._brk = offset + num_bytes
+        if self._brk > self.high_water_bytes:
+            self.high_water_bytes = self._brk
+        if self.observer is not None:
+            self.observer("alloc", self, offset, num_bytes)
         return offset
 
     def reset(self) -> None:
@@ -63,6 +72,8 @@ class LocalStore:
                 f"access [{offset}, {offset + num_bytes}) outside "
                 f"{self.capacity_bytes}-byte local store"
             )
+        if self.observer is not None:
+            self.observer("access", self, offset, num_bytes)
 
     def record_read(self, num_bytes: int, accesses: int) -> None:
         """Account a core read (bytes and access count)."""

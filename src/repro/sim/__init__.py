@@ -11,7 +11,8 @@ token passing, which keeps the Python simulator fast enough to sweep the
 paper's full parameter space.
 """
 
-from repro.sim.kernel import EventQueue, Simulator, SimulationError
+from repro.sim.kernel import (EventQueue, InvariantViolation, SimulationError,
+                              Simulator)
 from repro.sim.resources import OccupancyResource, ThroughputResource
 from repro.sim.sampling import IntervalSampler, sparkline
 from repro.sim.stats import Counter, StatsRegistry
@@ -20,6 +21,7 @@ __all__ = [
     "EventQueue",
     "Simulator",
     "SimulationError",
+    "InvariantViolation",
     "OccupancyResource",
     "ThroughputResource",
     "Counter",

@@ -15,6 +15,33 @@ class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
 
 
+class InvariantViolation(SimulationError, AssertionError):
+    """A checked simulation invariant failed.
+
+    Raised explicitly (never via ``assert``) so ``python -O`` cannot strip
+    the check.  Carries the simulation time and arbitrary key/value
+    context so a violation is diagnosable from the message alone.
+
+    Inherits :class:`AssertionError` purely as a deprecation shim: older
+    callers (and tests) that caught ``AssertionError`` from
+    ``check_global_invariant`` keep working.  Catch
+    :class:`SimulationError` or this class in new code.
+    """
+
+    def __init__(self, message: str, *, now_fs: int | None = None,
+                 context: dict | None = None) -> None:
+        self.now_fs = now_fs
+        self.context = dict(context) if context else {}
+        parts = [message]
+        if now_fs is not None:
+            parts.append(f"at t={now_fs} fs")
+        if self.context:
+            parts.append(
+                "[" + ", ".join(f"{k}={v!r}" for k, v in self.context.items()) + "]"
+            )
+        super().__init__(" ".join(parts))
+
+
 class EventQueue:
     """A binary-heap event queue keyed on (time, insertion sequence)."""
 
@@ -26,7 +53,17 @@ class EventQueue:
         return len(self._heap)
 
     def schedule(self, time_fs: int, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to fire at ``time_fs``."""
+        """Schedule ``callback`` to fire at ``time_fs``.
+
+        Timestamps must be integers (femtoseconds): floats happen to
+        heap-compare fine against ints, but they accumulate rounding and
+        break exact reproducibility, so they are rejected loudly.
+        """
+        if type(time_fs) is not int:
+            raise SimulationError(
+                f"event timestamps must be int femtoseconds, got "
+                f"{type(time_fs).__name__} {time_fs!r}"
+            )
         if time_fs < 0:
             raise SimulationError(f"cannot schedule event at negative time {time_fs}")
         heapq.heappush(self._heap, (time_fs, self._seq, callback))

@@ -1,0 +1,171 @@
+"""Simulator-aware lint pass: every rule, suppression, JSON, clean tree."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (Finding, lint_paths, lint_source,
+                                 render_findings)
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def rules_of(source: str) -> list[str]:
+    return [f.rule for f in lint_source(source)]
+
+
+class TestWallClockRule:
+    def test_time_time_flagged(self):
+        assert rules_of("import time\nt = time.time()\n") == ["REPRO001"]
+
+    def test_perf_counter_flagged(self):
+        assert rules_of("import time\nt = time.perf_counter()\n") == ["REPRO001"]
+
+    def test_datetime_now_flagged(self):
+        src = "import datetime\nd = datetime.datetime.now()\n"
+        assert rules_of(src) == ["REPRO001"]
+
+    def test_simulated_time_not_flagged(self):
+        assert rules_of("def f(sim):\n    return sim.now\n") == []
+
+    def test_unrelated_time_attribute_not_flagged(self):
+        assert rules_of("t = event.time\n") == []
+
+
+class TestFloatEqualityRule:
+    def test_float_eq_on_fs_quantity_flagged(self):
+        src = "def f(done_fs):\n    return done_fs == 1.5\n"
+        assert rules_of(src) == ["REPRO002"]
+
+    def test_not_eq_also_flagged(self):
+        src = "def f(x):\n    return x.ready_fs != 0.0\n"
+        assert rules_of(src) == ["REPRO002"]
+
+    def test_int_comparison_allowed(self):
+        assert rules_of("def f(done_fs):\n    return done_fs == 0\n") == []
+
+    def test_float_eq_on_unsuffixed_name_allowed(self):
+        assert rules_of("def f(ratio):\n    return ratio == 1.5\n") == []
+
+
+class TestUnitSuffixRule:
+    def test_bare_latency_attribute_flagged(self):
+        src = "class C:\n    def __init__(self):\n        self.latency = 70.0\n"
+        assert rules_of(src) == ["REPRO003"]
+
+    def test_dataclass_field_flagged(self):
+        assert rules_of("class C:\n    bandwidth: float = 6.4\n") == ["REPRO003"]
+
+    def test_suffixed_names_allowed(self):
+        src = ("class C:\n"
+               "    def __init__(self):\n"
+               "        self.latency_ns = 70.0\n"
+               "        self.energy_pj = 10\n"
+               "        self.capacity_bytes = 512\n")
+        assert rules_of(src) == []
+
+    def test_private_attributes_exempt(self):
+        src = "class C:\n    def __init__(self):\n        self._latency = 1\n"
+        assert rules_of(src) == []
+
+    def test_structured_objects_exempt(self):
+        # Only scalar numeric quantities need suffixes; objects carry
+        # their units internally (e.g. RunResult.energy).
+        src = "class C:\n    energy: EnergyBreakdown\n"
+        assert rules_of(src) == []
+
+
+class TestMutableDefaultRule:
+    def test_list_default_flagged(self):
+        assert rules_of("def f(x=[]):\n    pass\n") == ["REPRO004"]
+
+    def test_dict_call_default_flagged(self):
+        assert rules_of("def f(x=dict()):\n    pass\n") == ["REPRO004"]
+
+    def test_kwonly_default_flagged(self):
+        assert rules_of("def f(*, x={}):\n    pass\n") == ["REPRO004"]
+
+    def test_none_default_allowed(self):
+        assert rules_of("def f(x=None):\n    pass\n") == []
+
+
+class TestBareAssertRule:
+    def test_assert_flagged(self):
+        assert rules_of("def f(x):\n    assert x > 0\n") == ["REPRO005"]
+
+    def test_message_names_replacement(self):
+        finding = lint_source("assert True\n")[0]
+        assert "InvariantViolation" in finding.message
+
+
+class TestSuppression:
+    def test_rule_specific_suppression(self):
+        src = "assert True  # repro-lint: disable=REPRO005\n"
+        assert rules_of(src) == []
+
+    def test_disable_all(self):
+        src = "def f(x=[]):  # repro-lint: disable=all\n    pass\n"
+        assert rules_of(src) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = "assert True  # repro-lint: disable=REPRO001\n"
+        assert rules_of(src) == ["REPRO005"]
+
+    def test_multiple_ids(self):
+        src = ("def f(done_fs, x=[]):  # repro-lint: disable=REPRO004\n"
+               "    assert done_fs == 1.5  "
+               "# repro-lint: disable=REPRO002, REPRO005\n")
+        assert rules_of(src) == []
+
+
+class TestOutputAndPaths:
+    def test_findings_render_as_file_line(self):
+        finding = lint_source("assert True\n", "src/foo.py")[0]
+        assert finding.render().startswith("src/foo.py:1:")
+        assert "REPRO005" in finding.render()
+
+    def test_json_output_is_machine_readable(self):
+        findings = lint_source("assert True\n", "x.py")
+        payload = json.loads(render_findings(findings, as_json=True))
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "REPRO005"
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "pkg" / "good.py").write_text("x = 1\n")
+        findings = lint_paths([tmp_path])
+        assert [f.rule for f in findings] == ["REPRO001"]
+        assert findings[0].path.endswith("bad.py")
+
+    def test_findings_sorted_by_location(self):
+        src = "assert True\nimport time\nt = time.time()\n"
+        findings = lint_source(src)
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_has_zero_findings(self):
+        findings = lint_paths([REPO_SRC])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_cli_exits_zero_on_clean_tree_and_nonzero_on_fixtures(self, tmp_path):
+        env_src = str(REPO_SRC.parents[0])
+        clean = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "lint", str(REPO_SRC)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"})
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    assert x\n")
+        dirty = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "lint", str(bad)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"})
+        assert dirty.returncode == 1
+        assert "REPRO004" in dirty.stdout
+        assert f"{bad}:1:" in dirty.stdout or "bad.py:1:" in dirty.stdout

@@ -1,0 +1,119 @@
+"""Exhaustive MESI model checker: clean runs, seeded bugs, cross-validation."""
+
+import pytest
+
+from repro.analysis.model_check import (BROKEN_TABLE_BUGS, HierarchyModel,
+                                        TableModel, broken_table_model,
+                                        check_protocol, cross_validate,
+                                        run_full_check)
+from repro.mem.coherence import (REQUESTER_TRANSITIONS, SNOOP_TRANSITIONS,
+                                 MesiEvent, MesiState, apply_event)
+
+
+class TestTransitionTables:
+    def test_tables_are_total(self):
+        for state in MesiState:
+            for event in MesiEvent:
+                assert (state, event) in SNOOP_TRANSITIONS
+                for others in (False, True):
+                    assert (state, event, others) in REQUESTER_TRANSITIONS
+
+    def test_load_alone_fills_exclusive(self):
+        states = apply_event((MesiState.INVALID, MesiState.INVALID), 0,
+                             MesiEvent.LOAD)
+        assert states == (MesiState.EXCLUSIVE, MesiState.INVALID)
+
+    def test_load_with_owner_shares(self):
+        states = apply_event((MesiState.INVALID, MesiState.MODIFIED), 0,
+                             MesiEvent.LOAD)
+        assert states == (MesiState.SHARED, MesiState.SHARED)
+
+    def test_store_invalidates_peers(self):
+        states = apply_event((MesiState.SHARED, MesiState.SHARED), 1,
+                             MesiEvent.STORE)
+        assert states == (MesiState.INVALID, MesiState.MODIFIED)
+
+    def test_evict_is_local(self):
+        states = apply_event((MesiState.MODIFIED, MesiState.INVALID), 0,
+                             MesiEvent.EVICT)
+        assert states == (MesiState.INVALID, MesiState.INVALID)
+
+
+class TestCleanProtocol:
+    @pytest.mark.parametrize("caches", [2, 3, 4])
+    def test_table_model_verifies(self, caches):
+        result = check_protocol(TableModel(caches))
+        assert result.ok, result.render()
+        assert result.states_explored > 1
+        assert result.counterexample is None
+
+    @pytest.mark.parametrize("caches", [2, 3, 4])
+    def test_hierarchy_model_verifies(self, caches):
+        result = check_protocol(HierarchyModel(caches))
+        assert result.ok, result.render()
+        assert result.states_explored > 1
+
+    @pytest.mark.parametrize("caches", [2, 3])
+    def test_tables_match_real_hierarchy(self, caches):
+        assert cross_validate(caches) == []
+
+    def test_full_check_passes(self):
+        ok, report = run_full_check(2, 4)
+        assert ok, report
+        assert "protocol" not in report or "FAIL" not in report
+
+
+class TestSeededBugs:
+    @pytest.mark.parametrize("bug", BROKEN_TABLE_BUGS)
+    def test_every_seeded_bug_is_detected(self, bug):
+        result = check_protocol(broken_table_model(2, bug))
+        assert not result.ok
+        assert result.counterexample is not None
+        rendered = result.counterexample.render()
+        assert "VIOLATION" in rendered
+        assert "core" in rendered
+
+    def test_missing_invalidation_counterexample_is_shortest(self):
+        # load, load, store is the minimal run: a single sharer must
+        # exist before a store can illegally leave it valid.
+        result = check_protocol(broken_table_model(2, "no-invalidate-on-store"))
+        assert len(result.counterexample.events) == 3
+
+    def test_silent_dirty_evict_caught_by_data_value_invariant(self):
+        result = check_protocol(broken_table_model(2, "silent-dirty-evict"))
+        assert "data-value" in result.counterexample.violation
+        # store then evict: two events suffice to lose a write.
+        assert len(result.counterexample.events) == 2
+
+    def test_mutated_table_passed_directly(self):
+        snp = dict(SNOOP_TRANSITIONS)
+        snp[(MesiState.MODIFIED, MesiEvent.STORE)] = MesiState.MODIFIED
+        model = TableModel(3, snoop_transitions=snp)
+        result = check_protocol(model)
+        assert not result.ok
+        assert "SWMR" in result.counterexample.violation
+
+    def test_unknown_bug_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown bug"):
+            broken_table_model(2, "nonsense")
+
+    def test_broken_mode_of_full_check(self):
+        ok, report = run_full_check(2, 2, broken="exclusive-with-sharers")
+        assert ok  # "ok" means the bug WAS detected
+        assert "counterexample" in report
+
+
+class TestCheckerMechanics:
+    def test_invalid_cache_count_rejected(self):
+        with pytest.raises(ValueError):
+            TableModel(0)
+        with pytest.raises(ValueError):
+            HierarchyModel(9)
+
+    def test_state_space_is_small_and_bounded(self):
+        result = check_protocol(TableModel(4))
+        assert result.states_explored < 200
+
+    def test_counterexample_render_shows_initial_state(self):
+        result = check_protocol(broken_table_model(2, "no-invalidate-on-store"))
+        assert "init" in result.counterexample.render()

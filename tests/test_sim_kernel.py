@@ -42,6 +42,21 @@ class TestEventQueue:
         with pytest.raises(SimulationError):
             EventQueue().schedule(-1, lambda: None)
 
+    def test_float_time_rejected(self):
+        # Floats heap-compare fine against ints but break exact
+        # reproducibility; schedule() must reject them loudly.
+        with pytest.raises(SimulationError, match="int femtoseconds"):
+            EventQueue().schedule(10.0, lambda: None)
+
+    def test_float_delay_rejected_via_simulator(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="int femtoseconds"):
+            sim.after(2.5, lambda: None)
+
+    def test_bool_time_rejected(self):
+        with pytest.raises(SimulationError, match="int femtoseconds"):
+            EventQueue().schedule(True, lambda: None)
+
     def test_peek_time(self):
         q = EventQueue()
         assert q.peek_time() is None
