@@ -8,6 +8,11 @@ concrete numbers.
 The workload scale is selected with the ``REPRO_PRESET`` environment
 variable (``default`` | ``small`` | ``tiny``); the shipped default is the
 full benchmark scale used by EXPERIMENTS.md.
+
+Set ``REPRO_STORE`` to a directory to back the session runner with the
+persistent grid result store: simulations already recorded there (for
+example by ``python -m repro all --store ...``) are replayed from disk
+instead of re-simulated, and new runs are recorded for the next session.
 """
 
 from __future__ import annotations
@@ -32,8 +37,15 @@ def runner(preset: str) -> Runner:
     """One memoizing runner for the whole benchmark session.
 
     Sharing the runner means the one-core baselines and the 16-core
-    default points are simulated once and reused by every figure.
+    default points are simulated once and reused by every figure.  With
+    ``REPRO_STORE`` set, results additionally persist across sessions
+    through the grid result store.
     """
+    store_path = os.environ.get("REPRO_STORE")
+    if store_path:
+        from repro.grid.store import ResultStore, StoreCache
+
+        return Runner(preset=preset, cache=StoreCache(ResultStore(store_path)))
     return Runner(preset=preset)
 
 

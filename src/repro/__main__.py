@@ -6,12 +6,17 @@ Usage::
     python -m repro run fir --model str --cores 16 --clock 3.2
     python -m repro figure2 --preset small
     python -m repro table3
-    python -m repro all --preset small
+    python -m repro all --preset small --jobs 4
     python -m repro analysis check-protocol
+    python -m repro grid sweep figure2 table3 --preset tiny --jobs 4
 
 ``figureN`` / ``table3`` commands print the experiment's paper-style
 rows; ``run`` executes one workload/configuration and prints the full
-measurement record.
+measurement record.  Experiment commands persist results in the
+content-addressed store (``.repro-cache/`` or ``$REPRO_STORE``; disable
+with ``--no-store``) and fan out over worker processes with
+``--jobs N``; ``grid`` exposes the full sweep toolbox (see
+``python -m repro grid --help``).
 """
 
 from __future__ import annotations
@@ -20,21 +25,7 @@ import argparse
 import sys
 
 from repro import run_workload, workload_names
-from repro.harness import Runner, experiments, scorecard
-
-EXPERIMENTS = {
-    "scorecard": scorecard,
-    "table3": experiments.table3,
-    "figure2": experiments.figure2,
-    "figure3": experiments.figure3,
-    "figure4": experiments.figure4,
-    "figure5": experiments.figure5,
-    "figure6": experiments.figure6,
-    "figure7": experiments.figure7,
-    "figure8": experiments.figure8,
-    "figure9": experiments.figure9,
-    "figure10": experiments.figure10,
-}
+from repro.harness import EXPERIMENTS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,6 +49,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="memory channel bandwidth in GB/s")
     run_p.add_argument("--prefetch", action="store_true",
                        help="enable the hardware stream prefetcher")
+    run_p.add_argument("--prefetch-depth", type=int, default=4,
+                       metavar="N",
+                       help="cache lines the prefetcher runs ahead "
+                            "(with --prefetch; default 4)")
     run_p.add_argument("--preset", default="default",
                        choices=["default", "small", "tiny"])
     run_p.add_argument("--profile", action="store_true",
@@ -65,12 +60,24 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--trace", metavar="PATH",
                        help="record the demand-access trace as JSON lines")
 
+    def _grid_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep (default 1)")
+        p.add_argument("--store", metavar="PATH",
+                       help="result-store directory (default: $REPRO_STORE "
+                            "or .repro-cache)")
+        p.add_argument("--no-store", action="store_true",
+                       help="do not persist results on disk")
+        p.add_argument("--progress-json", metavar="PATH",
+                       help="write sweep metrics as JSON")
+
     for name, fn in EXPERIMENTS.items():
         exp_p = sub.add_parser(name, help=(fn.__doc__ or "").splitlines()[0])
         exp_p.add_argument("--preset", default="default",
                            choices=["default", "small", "tiny"])
         exp_p.add_argument("--chart", action="store_true",
                            help="also render the figure as stacked bars")
+        _grid_flags(exp_p)
 
     cmp_p = sub.add_parser(
         "compare", help="run one workload under every applicable memory model")
@@ -83,6 +90,7 @@ def _build_parser() -> argparse.ArgumentParser:
     all_p = sub.add_parser("all", help="regenerate every table and figure")
     all_p.add_argument("--preset", default="default",
                        choices=["default", "small", "tiny"])
+    _grid_flags(all_p)
 
     analysis_p = sub.add_parser(
         "analysis",
@@ -90,6 +98,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "see 'python -m repro.analysis --help'")
     analysis_p.add_argument("analysis_args", nargs=argparse.REMAINDER,
                             help="arguments forwarded to repro.analysis")
+
+    grid_p = sub.add_parser(
+        "grid",
+        help="parallel sweeps over the persistent result store; "
+             "see 'python -m repro grid --help'")
+    grid_p.add_argument("grid_args", nargs=argparse.REMAINDER,
+                        help="arguments forwarded to repro.grid")
     return parser
 
 
@@ -116,6 +131,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.__main__ import main as analysis_main
 
         return analysis_main(args.analysis_args)
+    if args.command == "grid":
+        from repro.grid.cli import main as grid_main
+
+        return grid_main(args.grid_args)
     if args.command == "list":
         for name in workload_names():
             print(name)
@@ -130,7 +149,7 @@ def main(argv: list[str] | None = None) -> int:
                 .with_model(args.model).with_clock(args.clock) \
                 .with_bandwidth(args.bandwidth)
             if args.prefetch:
-                config = config.with_prefetch()
+                config = config.with_prefetch(depth=args.prefetch_depth)
             program = get_workload(args.workload).build(
                 config.model, config, preset=args.preset)
             system = CmpSystem(config, program)
@@ -156,7 +175,8 @@ def main(argv: list[str] | None = None) -> int:
             result = run_workload(
                 args.workload, model=args.model, cores=args.cores,
                 clock_ghz=args.clock, bandwidth_gbps=args.bandwidth,
-                prefetch=args.prefetch, preset=args.preset,
+                prefetch=args.prefetch, prefetch_depth=args.prefetch_depth,
+                preset=args.preset,
             )
             _print_run(result)
         return 0
@@ -185,10 +205,9 @@ def main(argv: list[str] | None = None) -> int:
              "traffic_MB", "energy_mJ"], rows))
         return 0
 
-    runner = Runner(preset=args.preset)
-    names = list(EXPERIMENTS) if args.command == "all" else [args.command]
-    for name in names:
-        result = EXPERIMENTS[name](runner)
+    from repro.grid.cli import resolve_store, run_experiments
+
+    def render(_name, result) -> None:
         print(result.to_text())
         if getattr(args, "chart", False):
             from repro.harness.reports import render_stacked_bars
@@ -205,7 +224,12 @@ def main(argv: list[str] | None = None) -> int:
                 print()
                 print(render_stacked_bars(result.rows, labels, stack))
         print()
-    return 0
+
+    names = list(EXPERIMENTS) if args.command == "all" else [args.command]
+    return run_experiments(
+        names, preset=args.preset, jobs=args.jobs,
+        store=resolve_store(args.store, args.no_store),
+        progress_json=args.progress_json, render=render)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,246 @@
+"""Command-line surface of the grid subsystem.
+
+Usage::
+
+    python -m repro grid sweep figure2 table3 --preset tiny --jobs 4
+    python -m repro grid sweep all --jobs 8 --progress-json sweep.json
+    python -m repro grid plan figure2 --preset tiny
+    python -m repro grid info
+    python -m repro grid clear --failed
+
+``sweep`` regenerates the named experiments (default: every one) by
+planning their deduplicated run set, executing the misses on a worker
+pool, and replaying the experiments from the settled results.  The
+existing ``python -m repro figureN/table3/all`` commands accept
+``--jobs`` / ``--store`` / ``--no-store`` and route through the same
+machinery.
+
+The store location is ``--store PATH`` if given, else the
+``REPRO_STORE`` environment variable, else ``.repro-cache/`` in the
+working directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.grid.progress import Progress
+from repro.grid.scheduler import GridScheduler, plan, replay_cache
+from repro.grid.store import (
+    MemoryCache,
+    ResultStore,
+    RunFailedError,
+    StoreCache,
+)
+
+#: Default store directory when neither --store nor REPRO_STORE is set.
+DEFAULT_STORE = ".repro-cache"
+
+
+def resolve_store(path: str | None = None,
+                  no_store: bool = False) -> ResultStore | None:
+    """The store for this invocation (None when storing is disabled)."""
+    if no_store:
+        return None
+    root = path or os.environ.get("REPRO_STORE") or DEFAULT_STORE
+    return ResultStore(root)
+
+
+def _experiment_names(requested: list[str]) -> list[str]:
+    from repro.harness import EXPERIMENTS
+
+    if not requested or requested == ["all"]:
+        return list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(EXPERIMENTS)} (or 'all')")
+    return list(dict.fromkeys(requested))
+
+
+def run_experiments(names: list[str], preset: str = "default",
+                    jobs: int = 1, store: ResultStore | None = None,
+                    timeout_s: float | None = None, retries: int = 1,
+                    retry_failed: bool = False,
+                    progress_json: str | None = None,
+                    render=None) -> int:
+    """Regenerate experiments with optional parallelism and persistence.
+
+    ``render(name, experiment_result)`` is called for each completed
+    experiment (default: print the text table to stdout).  Returns the
+    process exit code: 0 when every needed run settled with a result, 1
+    when any degraded to a recorded FailedRun (the sweep itself always
+    completes).
+    """
+    from repro.harness import EXPERIMENTS
+    from repro.harness.runner import Runner
+
+    if render is None:
+        def render(_name, result):
+            print(result.to_text())
+            print()
+
+    names = _experiment_names(names)
+    fns = [EXPERIMENTS[name] for name in names]
+    jobs = max(1, jobs)
+    progress = Progress(jobs=jobs)
+    failures: dict[str, object] = {}
+
+    if jobs == 1:
+        cache = StoreCache(store) if store is not None else MemoryCache()
+        runner = Runner(preset=preset, cache=cache)
+        rendered = _replay(names, fns, runner, failures, render)
+        progress.total = cache.hits + cache.misses  # post-hoc accounting
+        progress.cache_hits = getattr(cache, "store_hits", 0)
+        progress.runs_launched = runner.runs
+        progress.completed = progress.cache_hits + runner.runs
+        progress.failed = len(failures)
+    else:
+        specs = plan(fns, preset=preset)
+        scheduler = GridScheduler(jobs=jobs, store=store,
+                                  timeout_s=timeout_s, retries=retries,
+                                  retry_failed=retry_failed,
+                                  progress=progress)
+        outcomes = list(scheduler.map(specs))
+        for outcome in outcomes:
+            if outcome.status == "failed":
+                failures[outcome.key] = outcome.failure
+        runner = Runner(preset=preset, cache=replay_cache(outcomes))
+        rendered = _replay(names, fns, runner, failures, render)
+
+    if failures:
+        print(f"\n{len(failures)} run(s) failed "
+              f"({len(names) - rendered} experiment(s) incomplete):",
+              file=sys.stderr)
+        for failure in failures.values():
+            print(f"  - {failure.label}: {failure.kind}: {failure.message}",
+                  file=sys.stderr)
+    if progress_json:
+        payload = progress.as_dict()
+        payload["experiments"] = names
+        payload["preset"] = preset
+        payload["store"] = str(store.root) if store is not None else None
+        with open(progress_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 1 if failures else 0
+
+
+def _replay(names, fns, runner, failures, render) -> int:
+    """Render each experiment from the runner; collect clean failures."""
+    rendered = 0
+    for name, fn in zip(names, fns):
+        try:
+            result = fn(runner)
+        except RunFailedError as error:
+            failures[error.failure.key] = error.failure
+            print(f"{name}: incomplete — {error}", file=sys.stderr)
+            continue
+        render(name, result)
+        rendered += 1
+    return rendered
+
+
+def _cmd_sweep(args) -> int:
+    store = resolve_store(args.store, args.no_store)
+    return run_experiments(
+        args.experiments, preset=args.preset, jobs=args.jobs, store=store,
+        timeout_s=args.timeout, retries=args.retries,
+        retry_failed=args.retry_failed, progress_json=args.progress_json)
+
+
+def _cmd_plan(args) -> int:
+    from repro.harness import EXPERIMENTS
+
+    names = _experiment_names(args.experiments)
+    specs = plan([EXPERIMENTS[name] for name in names], preset=args.preset)
+    unique = dict((spec.content_key(), spec) for spec in specs)
+    for key, spec in unique.items():
+        print(f"{key[:12]}  {spec.label()}")
+    print(f"{len(unique)} unique run(s) for {', '.join(names)} "
+          f"({args.preset} preset)", file=sys.stderr)
+    return 0
+
+
+def _cmd_info(args) -> int:
+    store = resolve_store(args.store)
+    stats = store.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"store      : {stats['root']}")
+    print(f"records    : {stats['records']} "
+          f"({stats['ok']} ok, {stats['failed']} failed)")
+    print(f"size       : {stats['size_bytes'] / 1024:.1f} KiB")
+    return 0
+
+
+def _cmd_clear(args) -> int:
+    store = resolve_store(args.store)
+    removed = store.clear(failed_only=args.failed)
+    what = "failed record(s)" if args.failed else "record(s)"
+    print(f"removed {removed} {what} from {store.root}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro grid",
+        description="parallel experiment execution with a persistent "
+                    "result store")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser(
+        "sweep", help="plan, execute in parallel, and render experiments")
+    sweep.add_argument("experiments", nargs="*", default=[],
+                       help="experiment names (default: all)")
+    sweep.add_argument("--preset", default="default",
+                       choices=["default", "small", "tiny"])
+    sweep.add_argument("--jobs", type=int,
+                       default=os.cpu_count() or 1,
+                       help="worker processes (default: CPU count)")
+    sweep.add_argument("--store", metavar="PATH",
+                       help=f"store directory (default: $REPRO_STORE or "
+                            f"{DEFAULT_STORE})")
+    sweep.add_argument("--no-store", action="store_true",
+                       help="run without persisting results")
+    sweep.add_argument("--timeout", type=float, metavar="S",
+                       help="per-run timeout in seconds")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="resubmissions after a worker exception")
+    sweep.add_argument("--retry-failed", action="store_true",
+                       help="re-run keys whose stored record is a failure")
+    sweep.add_argument("--progress-json", metavar="PATH",
+                       help="write the sweep metrics as JSON")
+
+    plan_p = sub.add_parser(
+        "plan", help="print the deduplicated run set of experiments")
+    plan_p.add_argument("experiments", nargs="*", default=[])
+    plan_p.add_argument("--preset", default="default",
+                        choices=["default", "small", "tiny"])
+
+    info = sub.add_parser("info", help="store statistics")
+    info.add_argument("--store", metavar="PATH")
+    info.add_argument("--json", action="store_true")
+
+    clear = sub.add_parser("clear", help="delete store records")
+    clear.add_argument("--store", metavar="PATH")
+    clear.add_argument("--failed", action="store_true",
+                       help="only delete failure records")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro grid`` / ``python -m repro.grid``."""
+    args = _build_parser().parse_args(argv)
+    handler = {"sweep": _cmd_sweep, "plan": _cmd_plan,
+               "info": _cmd_info, "clear": _cmd_clear}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

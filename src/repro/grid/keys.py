@@ -1,0 +1,117 @@
+"""Canonical run keys: one canonicalizer for memoization and storage.
+
+Every cache layer in the system — the in-process memo dict of
+:class:`~repro.harness.runner.Runner`, the on-disk store of
+:mod:`repro.grid.store`, and the deduplication set of the parallel
+scheduler — must agree on when two run requests are "the same run".
+This module is the single source of that answer:
+
+* :func:`freeze` turns an overrides mapping (or any nested structure of
+  dicts / lists / tuples / sets) into a hashable, order-independent
+  tuple for in-memory dictionary keys.
+* :func:`jsonable` produces the equivalent canonical JSON-safe form
+  (sets become tagged sorted lists, so a set and a list never collide).
+* :func:`content_key` hashes the *full* machine configuration plus the
+  workload / preset / overrides and a schema + code version stamp into
+  a stable hex digest — the address of a result in the on-disk store.
+
+The schema stamp (:data:`SCHEMA_VERSION`) must be bumped whenever the
+meaning of a stored result changes: a new ``RunResult`` field, a change
+to simulator semantics that alters measurements, or a change to the key
+payload itself.  Bumping it orphans (but does not delete) every old
+record; ``python -m repro grid clear`` reclaims the space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+#: Version stamp mixed into every content key.  Bump on any change to
+#: the stored-result schema or to simulator semantics (see module doc).
+SCHEMA_VERSION = 1
+
+#: Tag marking a set in the canonical JSON form; dicts containing this
+#: key cannot be confused with it because dict keys stay strings.
+_SET_TAG = "__repro_set__"
+
+
+def freeze(value):
+    """Recursively convert ``value`` into a hashable canonical form.
+
+    Dicts become key-sorted tuples of pairs, lists/tuples become tuples,
+    sets and frozensets become order-independent sorted tuples (tagged so
+    they can never collide with a list of the same elements).  Any other
+    leaf must already be hashable; an unhashable leaf (e.g. a stray dict
+    subclass or a numpy array) raises :class:`TypeError` immediately
+    instead of silently producing an unstable key.
+    """
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        frozen = sorted((repr(v), freeze(v)) for v in value)
+        return (_SET_TAG,) + tuple(item for _, item in frozen)
+    try:
+        hash(value)
+    except TypeError:
+        raise TypeError(
+            f"cannot build a stable run key from unhashable leaf "
+            f"{value!r} of type {type(value).__name__}; use plain "
+            f"dicts/lists/sets/scalars in overrides"
+        ) from None
+    return value
+
+
+def jsonable(value):
+    """The canonical JSON-safe equivalent of :func:`freeze`.
+
+    Returns a structure ``json.dumps`` accepts with no custom encoder:
+    dicts keep string keys, sets become ``[_SET_TAG, ...sorted items]``,
+    tuples become lists.  Leaves must be JSON scalars (str / int /
+    float / bool / None); anything else raises :class:`TypeError`.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in sorted(value.items(),
+                                                       key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        items = sorted((repr(v), jsonable(v)) for v in value)
+        return [_SET_TAG] + [item for _, item in items]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(
+        f"cannot serialize run-key leaf {value!r} of type "
+        f"{type(value).__name__}; use JSON-compatible scalars"
+    )
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON text for ``payload`` (sorted keys, no spaces)."""
+    return json.dumps(jsonable(payload), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def content_key(payload) -> str:
+    """Stable sha256 hex digest of a canonicalized key payload.
+
+    The caller supplies the payload dict (full config, workload, preset,
+    overrides); this function mixes in :data:`SCHEMA_VERSION` and the
+    package version so results recorded by incompatible code never
+    collide with fresh ones.
+    """
+    import repro
+
+    stamped = {
+        "schema": SCHEMA_VERSION,
+        "code": repro.__version__,
+        "payload": payload,
+    }
+    digest = hashlib.sha256(canonical_json(stamped).encode("utf-8"))
+    return digest.hexdigest()
+
+
+__all__ = ["SCHEMA_VERSION", "freeze", "jsonable", "canonical_json",
+           "content_key"]

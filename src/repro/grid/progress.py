@@ -1,0 +1,134 @@
+"""Structured sweep progress: live TTY line + JSON metrics.
+
+The tracker is deliberately simulator-free: it measures the
+*orchestration* layer (how many runs launched, hit the store, failed;
+wall time per run; worker utilization), never simulated time.  Reading
+the host clock here is therefore legitimate and exempted from the
+REPRO001 wall-clock lint that protects the deterministic core.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+
+class Progress:
+    """Counters and timings for one sweep, renderable live and as JSON."""
+
+    def __init__(self, total: int = 0, jobs: int = 1, stream=None) -> None:
+        self.total = total
+        self.jobs = jobs
+        self.stream = sys.stderr if stream is None else stream
+        self.cache_hits = 0
+        self.runs_launched = 0
+        self.completed = 0
+        self.failed = 0
+        self.retries = 0
+        self.run_wall_s: list[float] = []
+        self._started = time.perf_counter()  # repro-lint: disable=REPRO001
+        self._live = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    # -- event hooks -----------------------------------------------------
+
+    def on_cache_hit(self) -> None:
+        """A needed run was already in the store."""
+        self.cache_hits += 1
+        self.completed += 1
+        self.emit()
+
+    def on_launch(self) -> None:
+        """A miss was handed to a worker."""
+        self.runs_launched += 1
+        self.emit()
+
+    def on_retry(self) -> None:
+        """A failed attempt is being resubmitted."""
+        self.retries += 1
+        self.emit()
+
+    def on_done(self, wall_s: float | None = None,
+                failed: bool = False) -> None:
+        """A launched run finished (successfully or as a FailedRun)."""
+        self.completed += 1
+        if failed:
+            self.failed += 1
+        if wall_s is not None:
+            self.run_wall_s.append(wall_s)
+        self.emit()
+
+    # -- derived metrics -------------------------------------------------
+
+    def elapsed_s(self) -> float:
+        """Wall time since the tracker was created."""
+        return time.perf_counter() - self._started  # repro-lint: disable=REPRO001
+
+    def utilization(self) -> float:
+        """Fraction of worker capacity spent simulating (0..1)."""
+        capacity_s = self.elapsed_s() * max(1, self.jobs)
+        if capacity_s <= 0:
+            return 0.0
+        return min(1.0, sum(self.run_wall_s) / capacity_s)
+
+    def as_dict(self) -> dict:
+        """The full metrics payload (the ``--progress-json`` document)."""
+        wall = sorted(self.run_wall_s)
+        per_run = {}
+        if wall:
+            per_run = {
+                "mean_s": sum(wall) / len(wall),
+                "min_s": wall[0],
+                "p50_s": wall[len(wall) // 2],
+                "max_s": wall[-1],
+            }
+        elapsed = self.elapsed_s()
+        return {
+            "total": self.total,
+            "jobs": self.jobs,
+            "cache_hits": self.cache_hits,
+            "runs_launched": self.runs_launched,
+            "completed": self.completed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "elapsed_s": elapsed,
+            "runs_per_s": self.completed / elapsed if elapsed > 0 else 0.0,
+            "worker_utilization": self.utilization(),
+            "run_wall_s": per_run,
+        }
+
+    def to_json(self) -> str:
+        """:meth:`as_dict` as an indented JSON document."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    # -- rendering -------------------------------------------------------
+
+    def render(self) -> str:
+        """One status line, e.g. ``grid 37/99 | hits 12 | ...``."""
+        parts = [f"grid {self.completed}/{self.total}",
+                 f"hits {self.cache_hits}",
+                 f"run {self.runs_launched}"]
+        if self.failed:
+            parts.append(f"fail {self.failed}")
+        if self.retries:
+            parts.append(f"retry {self.retries}")
+        elapsed = self.elapsed_s()
+        if elapsed > 0 and self.completed:
+            parts.append(f"{self.completed / elapsed:.1f}/s")
+        if self.runs_launched:
+            parts.append(f"util {self.utilization() * 100:.0f}%")
+        return " | ".join(parts)
+
+    def emit(self) -> None:
+        """Rewrite the live status line (TTY only; silent otherwise)."""
+        if self._live:
+            print(f"\r\x1b[2K{self.render()}", end="",
+                  file=self.stream, flush=True)
+
+    def close(self) -> None:
+        """Finish the live line with a newline (TTY only)."""
+        if self._live:
+            print(f"\r\x1b[2K{self.render()}", file=self.stream, flush=True)
+
+
+__all__ = ["Progress"]

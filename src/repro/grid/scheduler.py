@@ -1,0 +1,349 @@
+"""Parallel sweep execution over a process pool.
+
+The scheduler turns a list of :class:`~repro.grid.spec.RunSpec` into a
+stream of :class:`RunOutcome`:
+
+1. requests are **deduplicated** by content key (a sweep that asks for
+   the one-core baseline eleven times simulates it once),
+2. keys already in the :class:`~repro.grid.store.ResultStore` are
+   answered immediately as cache hits,
+3. the misses are fanned out over a ``ProcessPoolExecutor`` and results
+   **stream back in completion order** — the caller renders progress
+   while the slowest simulations are still running,
+4. failures degrade instead of aborting: an exception inside a worker
+   is retried a bounded number of times and then recorded as a
+   :class:`~repro.grid.store.FailedRun`; a run exceeding the per-run
+   timeout is recorded as a timeout failure; a **killed worker** (the
+   pool breaks) triggers isolated single-worker re-execution of every
+   in-flight spec so one poison run cannot take innocent neighbours
+   down with it.
+
+Determinism: workers execute exactly the same
+:meth:`RunSpec.execute` path as the serial Runner, and results cross
+the process boundary through the lossless ``RunResult.to_dict`` /
+``from_dict`` pair, so a parallel sweep is bit-identical to a serial
+one (``tests/test_grid_determinism.py`` holds this line).
+
+This module reads the host clock to time *orchestration* (never
+simulated time); those lines carry REPRO001 lint exemptions.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.grid.progress import Progress
+from repro.grid.spec import RunSpec
+from repro.grid.store import FailedRun, MemoryCache, ResultStore
+from repro.results import Breakdown, EnergyBreakdown, RunResult, Traffic
+
+#: Reserved override keys interpreted by the worker itself (test hooks
+#: for the fault-tolerance paths); they never reach the workload build.
+_HOOK_KEYS = ("_grid_kill_worker", "_grid_raise", "_grid_sleep_s")
+
+
+class _RunTimeout(Exception):
+    """Raised inside a worker when the per-run deadline fires."""
+
+
+def _alarm(_signum, _frame):
+    raise _RunTimeout()
+
+
+def _execute_in_worker(spec: RunSpec, timeout_s: float | None) -> dict:
+    """Worker entry point: run one spec, never raise.
+
+    Returns a payload dict: ``{"ok": True, "result": ..., "wall_s": ...}``
+    or ``{"ok": False, "kind": "exception"|"timeout", "message": ...}``.
+    The per-run timeout is enforced with ``SIGITIMER`` inside the worker
+    so a runaway simulation cannot wedge its pool slot forever.
+    """
+    hooks = {k: (spec.overrides or {}).get(k) for k in _HOOK_KEYS}
+    if any(hooks.values()):
+        stripped = {k: v for k, v in spec.overrides.items()
+                    if k not in _HOOK_KEYS}
+        spec = RunSpec(**{**spec.to_dict(), "overrides": stripped or None})
+        if hooks["_grid_kill_worker"]:
+            os._exit(13)  # simulate a worker killed mid-run
+    start = time.perf_counter()  # repro-lint: disable=REPRO001
+    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        if hooks["_grid_sleep_s"]:
+            time.sleep(float(hooks["_grid_sleep_s"]))
+        if hooks["_grid_raise"]:
+            raise RuntimeError(str(hooks["_grid_raise"]))
+        result = spec.execute()
+    except _RunTimeout:
+        return {"ok": False, "kind": "timeout",
+                "message": f"exceeded the per-run timeout of {timeout_s} s",
+                "wall_s": time.perf_counter() - start}  # repro-lint: disable=REPRO001
+    except Exception as exc:
+        return {"ok": False, "kind": "exception",
+                "message": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(limit=20),
+                "wall_s": time.perf_counter() - start}  # repro-lint: disable=REPRO001
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+    return {"ok": True, "result": result.to_dict(),
+            "wall_s": time.perf_counter() - start}  # repro-lint: disable=REPRO001
+
+
+@dataclass
+class RunOutcome:
+    """One settled grid request: a result or a recorded failure."""
+
+    spec: RunSpec
+    key: str
+    status: str                    # "ok" | "failed"
+    source: str                    # "store" | "run"
+    result: RunResult | None = None
+    failure: FailedRun | None = None
+    wall_s: float | None = None
+
+
+class GridScheduler:
+    """Deduplicating, fault-tolerant fan-out over a process pool."""
+
+    def __init__(self, jobs: int | None = None,
+                 store: ResultStore | None = None,
+                 timeout_s: float | None = None,
+                 retries: int = 1,
+                 retry_failed: bool = False,
+                 progress: Progress | None = None) -> None:
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.store = store
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.retry_failed = retry_failed
+        self.progress = progress
+
+    def map(self, specs):
+        """Yield a :class:`RunOutcome` per unique spec, as each settles."""
+        unique: dict[str, RunSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.content_key(), spec)
+        progress = self.progress or Progress(jobs=self.jobs)
+        if not progress.total:
+            progress.total = len(unique)
+        progress.jobs = self.jobs
+
+        pending: list[tuple[str, RunSpec]] = []
+        for key, spec in unique.items():
+            cached = self.store.get(spec) if self.store is not None else None
+            if isinstance(cached, FailedRun) and self.retry_failed:
+                cached = None
+            if cached is None:
+                pending.append((key, spec))
+                continue
+            progress.on_cache_hit()
+            if isinstance(cached, FailedRun):
+                yield RunOutcome(spec, key, "failed", "store", failure=cached)
+            else:
+                yield RunOutcome(spec, key, "ok", "store", result=cached)
+        if not pending:
+            return
+
+        attempts = dict.fromkeys((key for key, _ in pending), 0)
+        executor = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            futures = {}
+            for key, spec in pending:
+                attempts[key] += 1
+                futures[executor.submit(
+                    _execute_in_worker, spec, self.timeout_s)] = (key, spec)
+                progress.on_launch()
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                crashed: list[tuple[str, RunSpec]] = []
+                for future in done:
+                    key, spec = futures.pop(future)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        crashed.append((key, spec))
+                        continue
+                    outcome = self._settle(key, spec, payload, attempts,
+                                           executor, futures, progress)
+                    if outcome is not None:
+                        yield outcome
+                if crashed:
+                    # The pool is broken: every other in-flight future is
+                    # doomed too.  Drain them, rebuild the pool, and
+                    # re-run each affected spec in isolation.
+                    for future, (key, spec) in list(futures.items()):
+                        crashed.append((key, spec))
+                    futures.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(max_workers=self.jobs)
+                    for key, spec in crashed:
+                        yield self._run_isolated(key, spec, progress)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+            progress.close()
+
+    # -- internals -------------------------------------------------------
+
+    def _settle(self, key, spec, payload, attempts, executor, futures,
+                progress) -> RunOutcome | None:
+        """Turn a worker payload into an outcome (or schedule a retry)."""
+        if payload["ok"]:
+            result = RunResult.from_dict(payload["result"])
+            wall_s = payload.get("wall_s")
+            if self.store is not None:
+                self.store.put(spec, result, wall_s=wall_s)
+            progress.on_done(wall_s=wall_s)
+            return RunOutcome(spec, key, "ok", "run", result=result,
+                              wall_s=wall_s)
+        if payload["kind"] == "exception" and attempts[key] <= self.retries:
+            attempts[key] += 1
+            progress.on_retry()
+            futures[executor.submit(
+                _execute_in_worker, spec, self.timeout_s)] = (key, spec)
+            return None
+        failure = FailedRun(key=key, label=spec.label(),
+                            kind=payload["kind"],
+                            message=payload["message"],
+                            attempts=attempts[key])
+        return self._record_failure(spec, failure, payload.get("wall_s"),
+                                    progress)
+
+    def _run_isolated(self, key, spec, progress) -> RunOutcome:
+        """Re-run one spec in its own single-worker pool.
+
+        After a pool break we cannot tell which in-flight run killed the
+        worker, so each affected spec gets a private pool: the poison one
+        fails alone, the innocent ones complete normally.
+        """
+        progress.on_retry()
+        isolated = ProcessPoolExecutor(max_workers=1)
+        try:
+            future = isolated.submit(_execute_in_worker, spec, self.timeout_s)
+            try:
+                payload = future.result()
+            except BrokenProcessPool:
+                failure = FailedRun(
+                    key=key, label=spec.label(), kind="crash",
+                    message="worker process died (killed or crashed "
+                            "the interpreter)",
+                    attempts=2)
+                return self._record_failure(spec, failure, None, progress)
+        finally:
+            isolated.shutdown(wait=False, cancel_futures=True)
+        if payload["ok"]:
+            result = RunResult.from_dict(payload["result"])
+            wall_s = payload.get("wall_s")
+            if self.store is not None:
+                self.store.put(spec, result, wall_s=wall_s)
+            progress.on_done(wall_s=wall_s)
+            return RunOutcome(spec, key, "ok", "run", result=result,
+                              wall_s=wall_s)
+        failure = FailedRun(key=key, label=spec.label(),
+                            kind=payload["kind"], message=payload["message"],
+                            attempts=2)
+        return self._record_failure(spec, failure, payload.get("wall_s"),
+                                    progress)
+
+    def _record_failure(self, spec, failure, wall_s, progress) -> RunOutcome:
+        if self.store is not None:
+            self.store.put(spec, failure, wall_s=wall_s)
+        progress.on_done(wall_s=wall_s, failed=True)
+        return RunOutcome(spec, failure.key, "failed", "run",
+                          failure=failure, wall_s=wall_s)
+
+
+# ----------------------------------------------------------------------
+# Experiment planning: capture the run set without simulating
+# ----------------------------------------------------------------------
+
+class _PlannerStats(dict):
+    """Stats mapping that answers every key, so planning never KeyErrors."""
+
+    def __missing__(self, key):
+        return 1.0
+
+
+def _synthetic_result(spec: RunSpec) -> RunResult:
+    """A plausible, nonzero placeholder result used during planning."""
+    return RunResult(
+        workload=spec.workload, model=spec.model, num_cores=spec.cores,
+        clock_ghz=spec.clock_ghz,
+        exec_time_fs=1_000_000_000, settled_fs=1_000_000_000,
+        breakdown=Breakdown(4e8, 1e8, 3e8, 2e8),
+        traffic=Traffic(read_bytes=1024, write_bytes=1024),
+        energy=EnergyBreakdown(*([1e-3] * 7)),
+        instructions=1000, word_accesses=1000, local_accesses=100,
+        l1_misses=100, l1_load_misses=60, l1_store_misses=40,
+        l2_accesses=100, l2_misses=50,
+        stats=_PlannerStats(),
+    )
+
+
+class PlanCache:
+    """A Runner cache that records every requested spec.
+
+    Every lookup "hits" with a synthetic result, so driving an
+    experiment function with a plan-backed Runner enumerates the exact
+    run set without simulating anything.  This works because the
+    experiments' run sets are static — which runs they request never
+    depends on measured values, only on their sweep grids.
+    """
+
+    def __init__(self) -> None:
+        self.specs: list[RunSpec] = []
+        self._memo: dict[tuple, RunResult] = {}
+
+    def get(self, spec: RunSpec) -> RunResult:
+        """Record ``spec`` (once) and return the placeholder result."""
+        memo_key = spec.memo_key()
+        if memo_key not in self._memo:
+            self._memo[memo_key] = _synthetic_result(spec)
+            self.specs.append(spec)
+        return self._memo[memo_key]
+
+    def put(self, spec: RunSpec, outcome) -> None:
+        """Planning never stores real results."""
+
+    def describe(self) -> str:
+        """One-line backend description for diagnostics."""
+        return f"planner ({len(self.specs)} specs captured)"
+
+
+def plan(experiment_fns, preset: str = "default") -> list[RunSpec]:
+    """The deduplicated run set needed by the given experiment functions."""
+    from repro.harness.runner import Runner
+
+    cache = PlanCache()
+    runner = Runner(preset=preset, cache=cache)
+    for fn in experiment_fns:
+        fn(runner)
+    return cache.specs
+
+
+def replay_cache(outcomes) -> MemoryCache:
+    """A Runner cache pre-filled from settled outcomes.
+
+    Failed outcomes are installed as :class:`FailedRun` markers so a
+    replaying Runner raises a clean
+    :class:`~repro.grid.store.RunFailedError` instead of silently
+    re-simulating the failed point in-process.
+    """
+    cache = MemoryCache()
+    for outcome in outcomes:
+        cache.put(outcome.spec, outcome.result if outcome.status == "ok"
+                  else outcome.failure)
+    return cache
+
+
+__all__ = ["GridScheduler", "RunOutcome", "PlanCache", "plan",
+           "replay_cache"]

@@ -1,0 +1,113 @@
+"""The serializable unit of grid work: one fully-specified simulation.
+
+A :class:`RunSpec` captures everything :func:`repro.run_workload` needs —
+workload, memory model, machine knobs, preset, overrides — as a frozen
+value object that can be
+
+* executed (:meth:`RunSpec.execute`, in-process or inside a worker),
+* memoized in a dict (:meth:`RunSpec.memo_key`),
+* addressed in the on-disk store (:meth:`RunSpec.content_key`, a hash
+  of the *expanded* :class:`~repro.config.MachineConfig` so any config
+  field change — not just the sweep knobs — changes the key), and
+* shipped across a process boundary (plain picklable dataclass, plus
+  :meth:`to_dict` / :meth:`from_dict` for the JSON store records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grid import keys
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation request, fully specified and serializable."""
+
+    workload: str
+    model: str = "cc"
+    cores: int = 16
+    clock_ghz: float = 0.8
+    bandwidth_gbps: float = 6.4
+    prefetch: bool = False
+    prefetch_depth: int = 4
+    preset: str = "default"
+    overrides: dict | None = None
+
+    def to_config(self):
+        """Expand the sweep knobs into the full :class:`MachineConfig`."""
+        from repro.config import MachineConfig
+
+        config = MachineConfig(num_cores=self.cores).with_model(self.model)
+        config = config.with_clock(self.clock_ghz)
+        config = config.with_bandwidth(self.bandwidth_gbps)
+        if self.prefetch:
+            config = config.with_prefetch(depth=self.prefetch_depth)
+        return config
+
+    def execute(self):
+        """Run the simulation this spec describes; returns a RunResult.
+
+        This is *the* execution path: the serial :class:`Runner`, the
+        parallel workers, and ``repro.run_workload`` all reduce to the
+        same config-build + program-build + :func:`run_program` calls,
+        which is what makes serial and parallel sweeps bit-identical.
+        """
+        from repro.config import MemoryModel
+        from repro.core.system import run_program
+        from repro.workloads import get_workload
+
+        config = self.to_config()
+        program = get_workload(self.workload).build(
+            MemoryModel.parse(self.model), config, preset=self.preset,
+            overrides=self.overrides)
+        return run_program(config, program)
+
+    def memo_key(self) -> tuple:
+        """Cheap hashable key for in-process memo dictionaries."""
+        return (self.workload, self.model, self.cores, self.clock_ghz,
+                self.bandwidth_gbps, self.prefetch, self.prefetch_depth,
+                self.preset, keys.freeze(self.overrides or {}))
+
+    def content_key(self) -> str:
+        """Stable store address: hash of the full expanded configuration."""
+        return keys.content_key({
+            "workload": self.workload,
+            "preset": self.preset,
+            "overrides": keys.jsonable(self.overrides or {}),
+            "config": self.to_config().to_dict(),
+        })
+
+    def to_dict(self) -> dict:
+        """JSON-safe description (sets in overrides become tagged lists)."""
+        return {
+            "workload": self.workload,
+            "model": self.model,
+            "cores": self.cores,
+            "clock_ghz": self.clock_ghz,
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "prefetch": self.prefetch,
+            "prefetch_depth": self.prefetch_depth,
+            "preset": self.preset,
+            "overrides": keys.jsonable(self.overrides) if self.overrides
+                         else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        """Rebuild a spec written by :meth:`to_dict`."""
+        return cls(**data)
+
+    def label(self) -> str:
+        """Short human-readable identity for progress lines and errors."""
+        parts = [f"{self.workload}/{self.model}", f"x{self.cores}",
+                 f"@{self.clock_ghz}GHz", f"{self.bandwidth_gbps}GB/s"]
+        if self.prefetch:
+            parts.append(f"pf{self.prefetch_depth}")
+        if self.overrides:
+            parts.append("+" + ",".join(sorted(map(str, self.overrides))))
+        parts.append(f"[{self.preset}]")
+        return " ".join(parts)
+
+
+__all__ = ["RunSpec"]

@@ -1,0 +1,278 @@
+"""Persistent, content-addressed result store and the cache interface.
+
+Layout under the store root (default ``.repro-cache/``)::
+
+    .repro-cache/
+      objects/ab/abcdef....json     one JSON record per content key
+
+Each record carries the spec that produced it, the schema stamp, either
+the full lossless :meth:`RunResult.to_dict` payload (``status: "ok"``)
+or a :class:`FailedRun` description (``status: "failed"``), and the wall
+time of the producing run.  Records are written atomically (temp file +
+``os.replace`` in the same directory) so a killed process can never
+leave a half-written record; unreadable or truncated records are treated
+as cache misses and quarantined out of the way rather than aborting the
+sweep.
+
+The cache interface consumed by :class:`~repro.harness.runner.Runner`
+is three methods (``get`` / ``put`` / ``describe``) implemented by
+
+* :class:`MemoryCache` — the classic per-process memo dict,
+* :class:`StoreCache` — the same, backed by a :class:`ResultStore` so
+  results survive the process and are shared across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.grid import keys
+from repro.grid.spec import RunSpec
+from repro.results import RunResult
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """The durable record of a simulation that could not produce a result.
+
+    A failed run is data, not control flow: the scheduler records it and
+    keeps sweeping; only a consumer that actually needs the missing
+    result (e.g. an experiment replay) raises :class:`RunFailedError`.
+    """
+
+    key: str
+    label: str
+    kind: str          # "exception" | "timeout" | "crash"
+    message: str
+    attempts: int = 1
+
+    def to_dict(self) -> dict:
+        """JSON-safe form stored in the failure record."""
+        return {"key": self.key, "label": self.label, "kind": self.kind,
+                "message": self.message, "attempts": self.attempts}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailedRun":
+        """Rebuild a failure written by :meth:`to_dict`."""
+        return cls(**data)
+
+
+class RunFailedError(RuntimeError):
+    """Raised when a needed result is a recorded :class:`FailedRun`."""
+
+    def __init__(self, failure: FailedRun) -> None:
+        super().__init__(
+            f"run {failure.label} failed ({failure.kind} after "
+            f"{failure.attempts} attempt(s)): {failure.message}")
+        self.failure = failure
+
+
+class ResultStore:
+    """Content-addressed on-disk store of run records."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+
+    def _path(self, key: str) -> Path:
+        return self._objects / key[:2] / f"{key}.json"
+
+    # -- raw record access ---------------------------------------------
+
+    def get_record(self, key: str) -> dict | None:
+        """The raw record for ``key``, or None (missing *or* corrupt)."""
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            record = json.loads(text)
+        except ValueError:
+            self._quarantine(path)
+            return None
+        if not isinstance(record, dict) or record.get("key") != key \
+                or record.get("status") not in ("ok", "failed"):
+            self._quarantine(path)
+            return None
+        return record
+
+    def put_record(self, record: dict) -> None:
+        """Atomically write one record (temp file + rename)."""
+        path = self._path(record["key"])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable record aside so it stops shadowing the key."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+
+    # -- typed access ---------------------------------------------------
+
+    def get(self, spec: RunSpec) -> "RunResult | FailedRun | None":
+        """The stored outcome for ``spec``: result, failure, or None."""
+        record = self.get_record(spec.content_key())
+        if record is None:
+            return None
+        try:
+            if record["status"] == "ok":
+                return RunResult.from_dict(record["result"])
+            return FailedRun.from_dict(record["failure"])
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(self._path(record["key"]))
+            return None
+
+    def put(self, spec: RunSpec, outcome: "RunResult | FailedRun",
+            wall_s: float | None = None) -> str:
+        """Record ``outcome`` for ``spec``; returns the content key."""
+        key = spec.content_key()
+        record = {
+            "key": key,
+            "schema": keys.SCHEMA_VERSION,
+            "spec": spec.to_dict(),
+            "wall_s": wall_s,
+        }
+        if isinstance(outcome, FailedRun):
+            record["status"] = "failed"
+            record["failure"] = outcome.to_dict()
+        else:
+            record["status"] = "ok"
+            record["result"] = outcome.to_dict()
+        self.put_record(record)
+        return key
+
+    # -- maintenance ----------------------------------------------------
+
+    def records(self):
+        """Iterate every readable record (corrupt files are skipped)."""
+        if not self._objects.is_dir():
+            return
+        for path in sorted(self._objects.glob("*/*.json")):
+            record = self.get_record(path.stem)
+            if record is not None:
+                yield record
+
+    def stats(self) -> dict:
+        """Record counts and on-disk footprint."""
+        ok = failed = size_bytes = 0
+        for record in self.records():
+            if record["status"] == "ok":
+                ok += 1
+            else:
+                failed += 1
+            size_bytes += self._path(record["key"]).stat().st_size
+        return {"root": str(self.root), "ok": ok, "failed": failed,
+                "records": ok + failed, "size_bytes": size_bytes}
+
+    def clear(self, failed_only: bool = False) -> int:
+        """Delete records (all, or only failures); returns count removed."""
+        removed = 0
+        if not self._objects.is_dir():
+            return removed
+        for path in sorted(self._objects.glob("*/*")):
+            if path.suffix == ".corrupt" and not failed_only:
+                path.unlink(missing_ok=True)
+                continue
+            if path.suffix != ".json":
+                continue
+            if failed_only:
+                record = self.get_record(path.stem)
+                if record is None or record["status"] != "failed":
+                    continue
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Cache backends behind Runner
+# ----------------------------------------------------------------------
+
+class MemoryCache:
+    """Per-process memo dict — the Runner's historical behavior."""
+
+    def __init__(self) -> None:
+        self._memo: dict[tuple, RunResult | FailedRun] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, spec: RunSpec) -> "RunResult | FailedRun | None":
+        """The memoized outcome for ``spec``, or None."""
+        outcome = self._memo.get(spec.memo_key())
+        if outcome is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return outcome
+
+    def put(self, spec: RunSpec, outcome: "RunResult | FailedRun") -> None:
+        """Memoize ``outcome`` for ``spec``."""
+        self._memo[spec.memo_key()] = outcome
+
+    def describe(self) -> str:
+        """One-line backend description for diagnostics."""
+        return f"memory ({len(self._memo)} entries)"
+
+
+class StoreCache:
+    """Store-backed cache: memo dict in front of a :class:`ResultStore`.
+
+    The memory layer preserves the Runner's result-identity guarantee
+    (two calls for the same spec return the *same* object) and avoids
+    re-parsing JSON on every memo hit; the store layer makes results
+    durable and shareable across processes.
+    """
+
+    def __init__(self, store: ResultStore) -> None:
+        self.store = store
+        self._memo: dict[tuple, RunResult | FailedRun] = {}
+        self.hits = 0            # in-memory hits
+        self.store_hits = 0      # on-disk hits
+        self.misses = 0
+
+    def get(self, spec: RunSpec) -> "RunResult | FailedRun | None":
+        """Outcome from memory, then disk; None on a full miss."""
+        memo_key = spec.memo_key()
+        outcome = self._memo.get(memo_key)
+        if outcome is not None:
+            self.hits += 1
+            return outcome
+        outcome = self.store.get(spec)
+        if outcome is not None:
+            self._memo[memo_key] = outcome
+            self.store_hits += 1
+            return outcome
+        self.misses += 1
+        return None
+
+    def put(self, spec: RunSpec, outcome: "RunResult | FailedRun",
+            wall_s: float | None = None) -> None:
+        """Record ``outcome`` in both layers."""
+        self._memo[spec.memo_key()] = outcome
+        self.store.put(spec, outcome, wall_s=wall_s)
+
+    def describe(self) -> str:
+        """One-line backend description for diagnostics."""
+        return f"store at {self.store.root}"
+
+
+__all__ = ["FailedRun", "RunFailedError", "ResultStore", "MemoryCache",
+           "StoreCache"]

@@ -22,7 +22,24 @@ from repro.harness.reports import format_table
 from repro.harness.scorecard import CLAIMS, Claim, scorecard
 from repro.harness.runner import ExperimentResult, Runner
 
+#: Every regenerable artifact, in ``python -m repro all`` order.  The CLI
+#: and the grid scheduler both dispatch through this table.
+EXPERIMENTS = {
+    "scorecard": scorecard,
+    "table3": table3,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+}
+
 __all__ = [
+    "EXPERIMENTS",
     "figure2",
     "figure3",
     "figure4",

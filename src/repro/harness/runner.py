@@ -1,56 +1,75 @@
-"""Simulation runner with memoization.
+"""Simulation runner with a pluggable result cache.
 
 Many experiments share runs (every figure normalizes to the one-core
 cache-based execution, Figure 3/4 reuse Figure 2's 16-core points, ...),
 so the :class:`Runner` caches :class:`~repro.results.RunResult` objects
-by their full configuration key within a process.
+by their full configuration key.
+
+The cache backend is pluggable (any object with ``get(spec)`` /
+``put(spec, outcome)``), which is how the grid subsystem composes with
+the unchanged experiment functions:
+
+* :class:`~repro.grid.store.MemoryCache` (the default) — the classic
+  per-process memo dict;
+* :class:`~repro.grid.store.StoreCache` — results persist in the
+  on-disk content-addressed store and survive the process;
+* :class:`~repro.grid.scheduler.PlanCache` — records the requested run
+  set without simulating, for parallel sweep planning;
+* a cache pre-filled by :func:`repro.grid.scheduler.replay_cache` —
+  replays a parallel sweep's results through the experiments.
+
+A cached :class:`~repro.grid.store.FailedRun` raises a clean
+:class:`~repro.grid.store.RunFailedError` instead of re-simulating, so
+a sweep's recorded failures surface deterministically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.config import MachineConfig, MemoryModel
-from repro.core.system import run_program
+from repro.grid.keys import freeze
+from repro.grid.spec import RunSpec
+from repro.grid.store import FailedRun, MemoryCache, RunFailedError
 from repro.results import RunResult
-from repro.workloads import get_workload
 
-
-def _freeze(value):
-    if isinstance(value, dict):
-        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
-    if isinstance(value, (list, tuple)):
-        return tuple(_freeze(v) for v in value)
-    return value
+#: Back-compat alias: the one true canonicalizer lives with the grid
+#: key-hashing (it now handles sets and rejects unhashable leaves).
+_freeze = freeze
 
 
 class Runner:
-    """Builds configurations, runs workloads, and memoizes the results."""
+    """Builds configurations, runs workloads, and caches the results."""
 
-    def __init__(self, preset: str = "default") -> None:
+    def __init__(self, preset: str = "default", cache=None) -> None:
         self.preset = preset
-        self._cache: dict[tuple, RunResult] = {}
+        self._cache = MemoryCache() if cache is None else cache
         self.runs = 0
+
+    @property
+    def cache(self):
+        """The cache backend (``get``/``put``) behind this runner."""
+        return self._cache
 
     def run(self, workload: str, model: str = "cc", cores: int = 16,
             clock_ghz: float = 0.8, bandwidth_gbps: float = 6.4,
             prefetch: bool = False, prefetch_depth: int = 4,
             overrides: dict | None = None) -> RunResult:
-        """Run one simulation (or return the memoized result)."""
-        key = (workload, model, cores, clock_ghz, bandwidth_gbps,
-               prefetch, prefetch_depth, self.preset, _freeze(overrides or {}))
-        cached = self._cache.get(key)
+        """Run one simulation (or return the cached result).
+
+        Raises :class:`~repro.grid.store.RunFailedError` when the cache
+        holds a recorded failure for this configuration.
+        """
+        spec = RunSpec(workload=workload, model=model, cores=cores,
+                       clock_ghz=clock_ghz, bandwidth_gbps=bandwidth_gbps,
+                       prefetch=prefetch, prefetch_depth=prefetch_depth,
+                       preset=self.preset, overrides=overrides)
+        cached = self._cache.get(spec)
+        if isinstance(cached, FailedRun):
+            raise RunFailedError(cached)
         if cached is not None:
             return cached
-        config = MachineConfig(num_cores=cores).with_model(model)
-        config = config.with_clock(clock_ghz).with_bandwidth(bandwidth_gbps)
-        if prefetch:
-            config = config.with_prefetch(depth=prefetch_depth)
-        program = get_workload(workload).build(
-            MemoryModel.parse(model), config, preset=self.preset,
-            overrides=overrides)
-        result = run_program(config, program)
-        self._cache[key] = result
+        result = spec.execute()
+        self._cache.put(spec, result)
         self.runs += 1
         return result
 

@@ -8,7 +8,7 @@ metrics of Table 3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.units import fs_to_ms, mb_per_s
 
@@ -48,6 +48,16 @@ class Breakdown:
             store_fs=self.store_fs * factor,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe mapping; values pass through untouched (no rounding)."""
+        return {"useful_fs": self.useful_fs, "sync_fs": self.sync_fs,
+                "load_fs": self.load_fs, "store_fs": self.store_fs}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Breakdown":
+        """Rebuild a breakdown written by :meth:`to_dict`."""
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class Traffic:
@@ -60,6 +70,15 @@ class Traffic:
     def total_bytes(self) -> int:
         """Read plus write bytes."""
         return self.read_bytes + self.write_bytes
+
+    def to_dict(self) -> dict:
+        """JSON-safe mapping of both directions."""
+        return {"read_bytes": self.read_bytes, "write_bytes": self.write_bytes}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Traffic":
+        """Rebuild a traffic record written by :meth:`to_dict`."""
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -91,6 +110,14 @@ class EnergyBreakdown:
             "l2": self.l2,
             "dram": self.dram,
         }
+
+    #: :meth:`as_dict` already is the JSON form; alias for store symmetry.
+    to_dict = as_dict
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyBreakdown":
+        """Rebuild an energy breakdown written by :meth:`to_dict`."""
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -171,4 +198,55 @@ class RunResult:
             f"traffic={self.traffic.total_bytes / 1e6:.2f} MB, "
             f"energy={self.energy.total * 1e3:.2f} mJ"
         )
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe form.
+
+        Every numeric field passes through unchanged — ints stay ints,
+        floats stay floats — so ``from_dict(json.loads(json.dumps(d)))``
+        reconstructs a bit-identical record.  This exactness is what lets
+        the parallel grid path (worker → JSON store → replay) guarantee
+        results identical to an in-process serial run.
+        """
+        return {
+            "workload": self.workload,
+            "model": self.model,
+            "num_cores": self.num_cores,
+            "clock_ghz": self.clock_ghz,
+            "exec_time_fs": self.exec_time_fs,
+            "settled_fs": self.settled_fs,
+            "breakdown": self.breakdown.to_dict(),
+            "traffic": self.traffic.to_dict(),
+            "energy": self.energy.to_dict(),
+            "instructions": self.instructions,
+            "word_accesses": self.word_accesses,
+            "local_accesses": self.local_accesses,
+            "l1_misses": self.l1_misses,
+            "l1_load_misses": self.l1_load_misses,
+            "l1_store_misses": self.l1_store_misses,
+            "l2_accesses": self.l2_accesses,
+            "l2_misses": self.l2_misses,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a result written by :meth:`to_dict`.
+
+        Unknown keys are rejected so records written by a newer schema
+        fail loudly instead of silently dropping measurements.
+        """
+        data = dict(data)
+        try:
+            breakdown = Breakdown.from_dict(data.pop("breakdown"))
+            traffic = Traffic.from_dict(data.pop("traffic"))
+            energy = EnergyBreakdown.from_dict(data.pop("energy"))
+        except KeyError as missing:
+            raise ValueError(f"RunResult record missing {missing}") from None
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunResult keys {sorted(unknown)}")
+        return cls(breakdown=breakdown, traffic=traffic, energy=energy,
+                   **data)
 

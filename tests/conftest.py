@@ -1,0 +1,24 @@
+"""Shared test fixtures: keep the result store hermetic.
+
+Experiment CLI commands persist results under ``$REPRO_STORE`` (or
+``.repro-cache/``) by default.  Tests must never read results produced
+by a previous checkout or leak records into the developer's working
+tree, so every test session gets its own throwaway store directory
+unless a test overrides it explicitly.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_store(tmp_path_factory):
+    import os
+
+    store_dir = tmp_path_factory.mktemp("repro-store")
+    previous = os.environ.get("REPRO_STORE")
+    os.environ["REPRO_STORE"] = str(store_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_STORE", None)
+    else:
+        os.environ["REPRO_STORE"] = previous

@@ -51,6 +51,62 @@ def test_unknown_command_rejected():
         main(["frobnicate"])
 
 
+def test_run_prefetch_depth_flag(capsys):
+    assert main(["run", "merge", "--cores", "2", "--prefetch",
+                 "--prefetch-depth", "2", "--preset", "tiny"]) == 0
+    assert "merge/cc" in capsys.readouterr().out
+
+
+def test_run_prefetch_depth_flag_profile_path(capsys):
+    assert main(["run", "merge", "--cores", "2", "--prefetch",
+                 "--prefetch-depth", "2", "--preset", "tiny",
+                 "--profile"]) == 0
+    assert "merge/cc" in capsys.readouterr().out
+
+
+def test_experiment_no_store(capsys):
+    assert main(["figure3", "--preset", "tiny", "--no-store"]) == 0
+    assert "Figure 3" in capsys.readouterr().out
+
+
+def test_experiment_store_warm_restart(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["figure3", "--preset", "tiny", "--store", store]) == 0
+    cold = capsys.readouterr().out
+    assert main(["figure3", "--preset", "tiny", "--store", store]) == 0
+    assert capsys.readouterr().out == cold
+
+
+def test_experiment_parallel_jobs(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    progress = tmp_path / "progress.json"
+    assert main(["figure3", "--preset", "tiny", "--jobs", "2",
+                 "--store", store, "--progress-json", str(progress)]) == 0
+    assert "Figure 3" in capsys.readouterr().out
+    import json
+
+    doc = json.loads(progress.read_text())
+    assert doc["jobs"] == 2
+    assert doc["runs_launched"] + doc["cache_hits"] == doc["total"]
+
+
+def test_grid_subcommand_forwards(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["grid", "sweep", "figure3", "--preset", "tiny",
+                 "--jobs", "2", "--store", store]) == 0
+    assert "Figure 3" in capsys.readouterr().out
+    assert main(["grid", "info", "--store", store]) == 0
+    assert "records" in capsys.readouterr().out
+    assert main(["grid", "plan", "figure3", "--preset", "tiny"]) == 0
+    assert main(["grid", "clear", "--store", store]) == 0
+    assert "removed" in capsys.readouterr().out
+
+
+def test_grid_sweep_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["grid", "sweep", "figure99"])
+
+
 def test_compare_includes_applicable_models(capsys):
     assert main(["compare", "fir", "--cores", "4", "--preset", "tiny"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""The regression net for the whole grid subsystem: bit-determinism.
+
+A parallel sweep must produce *identical* experiment rows to the serial
+in-process path — same workloads, same floats, bit for bit.  Workers
+execute the same ``RunSpec.execute`` path and results cross the process
+boundary through the lossless ``to_dict``/``from_dict`` pair, so any
+divergence here means the serialization lost information or the
+simulator stopped being a pure function of its configuration.
+"""
+
+import pytest
+
+from repro.grid.scheduler import GridScheduler, plan, replay_cache
+from repro.grid.store import ResultStore
+from repro.harness import experiments
+from repro.harness.runner import Runner
+
+
+def parallel_experiment(fn, jobs, store=None, preset="tiny"):
+    """Run one experiment through the full plan → schedule → replay path."""
+    specs = plan([fn], preset=preset)
+    scheduler = GridScheduler(jobs=jobs, store=store)
+    outcomes = list(scheduler.map(specs))
+    assert all(o.status == "ok" for o in outcomes)
+    runner = Runner(preset=preset, cache=replay_cache(outcomes))
+    return fn(runner)
+
+
+@pytest.mark.parametrize("jobs", [4])
+def test_figure2_parallel_rows_identical_to_serial(jobs):
+    serial = experiments.figure2(Runner(preset="tiny"))
+    parallel = parallel_experiment(experiments.figure2, jobs=jobs)
+    assert parallel.headers == serial.headers
+    assert parallel.rows == serial.rows          # exact, not approx
+
+
+def test_figure2_store_replay_identical_to_serial(tmp_path):
+    fn = lambda r: experiments.figure2(r, workloads=["fir", "bitonic"])
+    serial = fn(Runner(preset="tiny"))
+    store = ResultStore(tmp_path)
+    first = parallel_experiment(fn, jobs=2, store=store)
+    assert first.rows == serial.rows
+    # Second pass replays purely from disk — still bit-identical.
+    scheduler = GridScheduler(jobs=2, store=store)
+    outcomes = list(scheduler.map(plan([fn], preset="tiny")))
+    assert all(o.source == "store" for o in outcomes)
+    warm = fn(Runner(preset="tiny", cache=replay_cache(outcomes)))
+    assert warm.rows == serial.rows
+
+
+def test_table3_parallel_rows_identical_to_serial():
+    serial = experiments.table3(Runner(preset="tiny"))
+    parallel = parallel_experiment(experiments.table3, jobs=3)
+    assert parallel.rows == serial.rows

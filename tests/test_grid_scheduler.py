@@ -1,0 +1,154 @@
+"""The parallel scheduler: dedup, streaming, and fault tolerance."""
+
+import pytest
+
+from repro.grid.progress import Progress
+from repro.grid.scheduler import GridScheduler, PlanCache, plan, replay_cache
+from repro.grid.spec import RunSpec
+from repro.grid.store import ResultStore, RunFailedError
+from repro.harness import experiments
+from repro.harness.runner import Runner
+
+
+def specs_for(*core_counts, workload="fir", **kwargs):
+    return [RunSpec(workload, cores=cores, preset="tiny", **kwargs)
+            for cores in core_counts]
+
+
+class TestScheduler:
+    def test_parallel_results_match_serial(self, tmp_path):
+        specs = specs_for(1, 2, 4)
+        scheduler = GridScheduler(jobs=2, store=ResultStore(tmp_path))
+        outcomes = {o.spec.cores: o for o in scheduler.map(specs)}
+        assert set(outcomes) == {1, 2, 4}
+        for spec in specs:
+            serial = spec.execute()
+            assert outcomes[spec.cores].result == serial
+
+    def test_duplicate_specs_run_once(self, tmp_path):
+        progress = Progress()
+        scheduler = GridScheduler(jobs=2, store=ResultStore(tmp_path),
+                                  progress=progress)
+        outcomes = list(scheduler.map(specs_for(2, 2, 2, 2)))
+        assert len(outcomes) == 1
+        assert progress.runs_launched == 1
+
+    def test_second_sweep_is_all_cache_hits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        list(GridScheduler(jobs=2, store=store).map(specs_for(1, 2)))
+        progress = Progress()
+        outcomes = list(GridScheduler(jobs=2, store=store,
+                                      progress=progress).map(specs_for(1, 2)))
+        assert all(o.source == "store" for o in outcomes)
+        assert progress.cache_hits == 2
+        assert progress.runs_launched == 0
+
+    def test_no_store_still_works(self):
+        outcomes = list(GridScheduler(jobs=2, store=None).map(specs_for(2)))
+        assert outcomes[0].status == "ok"
+
+
+class TestFaultTolerance:
+    def test_worker_exception_degrades_to_failed_run(self, tmp_path):
+        store = ResultStore(tmp_path)
+        bad = specs_for(2, overrides={"_grid_raise": "injected fault"})
+        good = specs_for(4)
+        outcomes = {o.spec.cores: o
+                    for o in GridScheduler(jobs=2, store=store,
+                                           retries=1).map(bad + good)}
+        assert outcomes[4].status == "ok"
+        failure = outcomes[2].failure
+        assert outcomes[2].status == "failed"
+        assert failure.kind == "exception"
+        assert "injected fault" in failure.message
+        assert failure.attempts == 2       # original try + one retry
+        # The failure is durable: a fresh sweep reports it from the store.
+        replay = list(GridScheduler(jobs=2, store=store).map(bad))
+        assert replay[0].status == "failed" and replay[0].source == "store"
+
+    def test_retry_failed_reruns_stored_failures(self, tmp_path):
+        store = ResultStore(tmp_path)
+        bad = specs_for(2, overrides={"_grid_raise": "flaky"})
+        list(GridScheduler(jobs=1, store=store, retries=0).map(bad))
+        progress = Progress()
+        list(GridScheduler(jobs=1, store=store, retries=0, retry_failed=True,
+                           progress=progress).map(bad))
+        assert progress.runs_launched == 1   # re-executed, not served
+
+    def test_killed_worker_does_not_abort_the_sweep(self, tmp_path):
+        store = ResultStore(tmp_path)
+        poison = specs_for(2, overrides={"_grid_kill_worker": True})
+        good = specs_for(4, 8)
+        outcomes = {o.spec.cores: o
+                    for o in GridScheduler(jobs=2,
+                                           store=store).map(poison + good)}
+        assert outcomes[2].status == "failed"
+        assert outcomes[2].failure.kind == "crash"
+        # Innocent bystanders settle with results despite the pool break.
+        assert outcomes[4].status == "ok"
+        assert outcomes[8].status == "ok"
+
+    def test_timeout_is_recorded_not_raised(self, tmp_path):
+        slow = specs_for(2, overrides={"_grid_sleep_s": 10})
+        outcomes = list(GridScheduler(jobs=1, store=ResultStore(tmp_path),
+                                      timeout_s=0.5).map(slow))
+        assert outcomes[0].status == "failed"
+        assert outcomes[0].failure.kind == "timeout"
+        assert outcomes[0].wall_s < 5
+
+
+class TestPlanning:
+    def test_plan_captures_figure_run_set_without_simulating(self):
+        cache = PlanCache()
+        runner = Runner(preset="tiny", cache=cache)
+        experiments.figure3(runner, workloads=["fir"])
+        assert runner.runs == 0
+        labels = {spec.label() for spec in cache.specs}
+        # baseline + cc/str at 16 cores
+        assert len(cache.specs) == 3
+        assert any("x1 " in label for label in labels)
+
+    def test_plan_helper_deduplicates_shared_baselines(self):
+        specs = plan([lambda r: experiments.figure3(r, workloads=["fir"]),
+                      lambda r: experiments.figure4(r, workloads=["fir"])],
+                     preset="tiny")
+        keys = [spec.content_key() for spec in specs]
+        assert len(keys) == len(set(keys))
+        assert len(specs) == 3     # figure4 reuses figure3's exact runs
+
+    def test_replay_cache_serves_failures_cleanly(self, tmp_path):
+        store = ResultStore(tmp_path)
+        bad = specs_for(16, workload="fir",
+                        overrides={"_grid_raise": "dead"})
+        outcomes = list(GridScheduler(jobs=1, store=store,
+                                      retries=0).map(bad))
+        runner = Runner(preset="tiny", cache=replay_cache(outcomes))
+        with pytest.raises(RunFailedError):
+            runner.run("fir", cores=16, overrides={"_grid_raise": "dead"})
+
+
+class TestProgress:
+    def test_metrics_document_shape(self):
+        progress = Progress(total=4, jobs=2)
+        progress.on_cache_hit()
+        progress.on_launch()
+        progress.on_done(wall_s=0.5)
+        progress.on_launch()
+        progress.on_done(wall_s=1.5, failed=True)
+        doc = progress.as_dict()
+        assert doc["total"] == 4
+        assert doc["cache_hits"] == 1
+        assert doc["runs_launched"] == 2
+        assert doc["failed"] == 1
+        assert doc["run_wall_s"]["max_s"] == 1.5
+        assert 0.0 <= doc["worker_utilization"] <= 1.0
+        assert "grid 3/4" in progress.render()
+
+    def test_non_tty_stream_stays_silent(self):
+        import io
+
+        stream = io.StringIO()
+        progress = Progress(total=1, jobs=1, stream=stream)
+        progress.on_cache_hit()
+        progress.close()
+        assert stream.getvalue() == ""

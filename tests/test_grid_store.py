@@ -1,0 +1,145 @@
+"""The content-addressed result store and the Runner cache backends."""
+
+import json
+
+import pytest
+
+from repro.grid.spec import RunSpec
+from repro.grid.store import (
+    FailedRun,
+    MemoryCache,
+    ResultStore,
+    RunFailedError,
+    StoreCache,
+)
+from repro.harness.runner import Runner
+from repro.results import RunResult
+
+SPEC = RunSpec("fir", cores=2, preset="tiny")
+
+
+def executed(spec=SPEC) -> RunResult:
+    return spec.execute()
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        result = executed()
+        key = store.put(SPEC, result, wall_s=0.25)
+        assert store.get(SPEC) == result
+        record = store.get_record(key)
+        assert record["status"] == "ok"
+        assert record["wall_s"] == 0.25
+        assert record["spec"]["workload"] == "fir"
+
+    def test_missing_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(SPEC) is None
+        assert store.get_record("0" * 64) is None
+
+    def test_failed_run_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        failure = FailedRun(key=SPEC.content_key(), label=SPEC.label(),
+                            kind="timeout", message="too slow", attempts=2)
+        store.put(SPEC, failure)
+        loaded = store.get(SPEC)
+        assert loaded == failure
+
+    def test_corrupt_record_is_a_miss_and_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        path = store._path(key)
+        path.write_text('{"key": "' + key + '", "status": "ok", truncated')
+        assert store.get(SPEC) is None
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        # The key is writable again after quarantine.
+        store.put(SPEC, executed())
+        assert store.get(SPEC) is not None
+
+    def test_record_with_wrong_key_is_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        path = store._path(key)
+        record = json.loads(path.read_text())
+        record["key"] = "f" * 64
+        path.write_text(json.dumps(record))
+        assert store.get(SPEC) is None
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, executed())
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_stats_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, executed())
+        other = RunSpec("merge", cores=2, preset="tiny")
+        store.put(other, FailedRun(key=other.content_key(),
+                                   label=other.label(), kind="exception",
+                                   message="boom"))
+        stats = store.stats()
+        assert stats["ok"] == 1 and stats["failed"] == 1
+        assert stats["size_bytes"] > 0
+        assert store.clear(failed_only=True) == 1
+        assert store.stats()["failed"] == 0
+        assert store.clear() == 1
+        assert store.stats()["records"] == 0
+
+
+class TestCaches:
+    def test_memory_cache_counts(self):
+        cache = MemoryCache()
+        assert cache.get(SPEC) is None
+        result = executed()
+        cache.put(SPEC, result)
+        assert cache.get(SPEC) is result
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_store_cache_layers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        warm = StoreCache(store)
+        result = executed()
+        warm.put(SPEC, result)
+        # A fresh cache over the same store hits the disk layer once,
+        # then the memory layer.
+        cold = StoreCache(store)
+        first = cold.get(SPEC)
+        second = cold.get(SPEC)
+        assert first == result
+        assert first is second
+        assert cold.store_hits == 1 and cold.hits == 1 and cold.misses == 0
+
+
+class TestRunnerIntegration:
+    def test_results_survive_the_process_boundary(self, tmp_path):
+        store = ResultStore(tmp_path)
+        hot = Runner(preset="tiny", cache=StoreCache(store))
+        result = hot.run("fir", cores=2)
+        assert hot.runs == 1
+        # A brand-new Runner over the same store simulates nothing.
+        cold = Runner(preset="tiny", cache=StoreCache(store))
+        replayed = cold.run("fir", cores=2)
+        assert cold.runs == 0
+        assert replayed == result
+
+    def test_identity_preserved_within_a_runner(self, tmp_path):
+        runner = Runner(preset="tiny", cache=StoreCache(ResultStore(tmp_path)))
+        assert runner.run("fir", cores=2) is runner.run("fir", cores=2)
+
+    def test_cached_failure_raises_cleanly(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = RunSpec("fir", cores=2, preset="tiny")
+        store.put(spec, FailedRun(key=spec.content_key(),
+                                  label=spec.label(), kind="crash",
+                                  message="worker died"))
+        runner = Runner(preset="tiny", cache=StoreCache(store))
+        with pytest.raises(RunFailedError, match="worker died"):
+            runner.run("fir", cores=2)
+
+    def test_default_cache_is_memory(self):
+        runner = Runner(preset="tiny")
+        assert isinstance(runner.cache, MemoryCache)
+        assert "memory" in runner.cache.describe()

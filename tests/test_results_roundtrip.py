@@ -1,0 +1,136 @@
+"""Satellite coverage: lossless RunResult serialization and stable keys.
+
+The grid determinism guarantee rests on two facts checked here:
+
+* ``RunResult.to_dict`` → JSON → ``from_dict`` is *bit*-lossless for
+  every workload (ints stay ints, floats stay floats, stats survive);
+* the content key changes whenever any configuration field changes, and
+  only then.
+"""
+
+import json
+
+import pytest
+
+from repro import run_workload, workload_names
+from repro.grid.keys import SCHEMA_VERSION, content_key, freeze, jsonable
+from repro.grid.spec import RunSpec
+from repro.results import Breakdown, EnergyBreakdown, RunResult, Traffic
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_roundtrip_lossless_every_workload(name):
+    result = run_workload(name, cores=2, preset="tiny")
+    wire = json.loads(json.dumps(result.to_dict()))
+    rebuilt = RunResult.from_dict(wire)
+    assert rebuilt == result
+    # Exactness, not approximation: the paired fields are identical bits.
+    assert rebuilt.exec_time_fs == result.exec_time_fs
+    assert rebuilt.breakdown.total_fs == result.breakdown.total_fs
+    assert rebuilt.energy.total == result.energy.total
+    assert rebuilt.stats == result.stats
+
+
+def test_roundtrip_preserves_numeric_types():
+    result = run_workload("fir", cores=2, preset="tiny")
+    wire = json.loads(json.dumps(result.to_dict()))
+    assert isinstance(wire["exec_time_fs"], int)
+    assert isinstance(wire["traffic"]["read_bytes"], int)
+
+
+def test_from_dict_rejects_unknown_keys():
+    result = run_workload("fir", cores=2, preset="tiny")
+    data = result.to_dict()
+    data["frobnication_level"] = 3
+    with pytest.raises(ValueError, match="frobnication_level"):
+        RunResult.from_dict(data)
+
+
+def test_from_dict_rejects_missing_blocks():
+    data = run_workload("fir", cores=2, preset="tiny").to_dict()
+    del data["breakdown"]
+    with pytest.raises(ValueError, match="breakdown"):
+        RunResult.from_dict(data)
+
+
+def test_component_roundtrips():
+    b = Breakdown(1.5, 2, 3.25, 4)
+    assert Breakdown.from_dict(b.to_dict()) == b
+    t = Traffic(read_bytes=10, write_bytes=20)
+    assert Traffic.from_dict(t.to_dict()) == t
+    e = EnergyBreakdown(1e-3, 2e-3, 3e-3, 0.0, 4e-3, 5e-3, 6e-3)
+    assert EnergyBreakdown.from_dict(e.to_dict()) == e
+
+
+class TestContentKey:
+    BASE = dict(workload="fir", model="cc", cores=4, clock_ghz=0.8,
+                bandwidth_gbps=6.4, prefetch=False, prefetch_depth=4,
+                preset="tiny", overrides=None)
+
+    def test_stable_across_instances(self):
+        assert RunSpec(**self.BASE).content_key() \
+            == RunSpec(**self.BASE).content_key()
+
+    @pytest.mark.parametrize("change", [
+        {"workload": "merge"},
+        {"model": "str"},
+        {"cores": 8},
+        {"clock_ghz": 1.6},
+        {"bandwidth_gbps": 12.8},
+        {"prefetch": True},
+        {"prefetch": True, "prefetch_depth": 8},
+        {"preset": "small"},
+        {"overrides": {"pfs": True}},
+    ])
+    def test_any_field_change_changes_key(self, change):
+        base_key = RunSpec(**self.BASE).content_key()
+        changed = RunSpec(**{**self.BASE, **change})
+        assert changed.content_key() != base_key
+
+    def test_prefetch_depth_ignored_when_prefetch_off(self):
+        # With the prefetcher disabled, depth never reaches the machine
+        # config: the two specs describe the same simulation, so the
+        # content-addressed store must not fragment on it.
+        a = RunSpec(**{**self.BASE, "prefetch_depth": 4})
+        b = RunSpec(**{**self.BASE, "prefetch_depth": 8})
+        assert a.content_key() == b.content_key()
+
+    def test_override_order_is_irrelevant(self):
+        a = RunSpec(**{**self.BASE, "overrides": {"a": 1, "b": 2}})
+        b = RunSpec(**{**self.BASE, "overrides": {"b": 2, "a": 1}})
+        assert a.content_key() == b.content_key()
+        assert a.memo_key() == b.memo_key()
+
+    def test_schema_stamp_in_key(self):
+        payload = {"x": 1}
+        key = content_key(payload)
+        assert isinstance(key, str) and len(key) == 64
+        assert SCHEMA_VERSION >= 1
+
+
+class TestFreeze:
+    def test_dict_order_independent(self):
+        assert freeze({"a": 1, "b": [2, 3]}) == freeze({"b": [2, 3], "a": 1})
+
+    def test_sets_are_order_independent(self):
+        assert freeze({"keys": {3, 1, 2}}) == freeze({"keys": {2, 3, 1}})
+        assert freeze(frozenset("ab")) == freeze(set("ba"))
+
+    def test_set_never_collides_with_list(self):
+        assert freeze({1, 2}) != freeze([1, 2])
+        assert jsonable({1, 2}) != jsonable([1, 2])
+
+    def test_unhashable_leaf_rejected(self):
+        class Weird:
+            __hash__ = None
+
+        with pytest.raises(TypeError, match="unhashable leaf"):
+            freeze({"bad": Weird()})
+
+    def test_jsonable_rejects_non_scalar_leaf(self):
+        with pytest.raises(TypeError, match="run-key leaf"):
+            jsonable({"bad": object()})
+
+    def test_nested_structures(self):
+        value = {"grid": [{1, 2}, ("a", {"x": None})]}
+        assert freeze(value) == freeze({"grid": [{2, 1}, ("a", {"x": None})]})
