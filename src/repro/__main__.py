@@ -9,6 +9,8 @@ Usage::
     python -m repro all --preset small --jobs 4
     python -m repro analysis check-protocol
     python -m repro grid sweep figure2 table3 --preset tiny --jobs 4
+    python -m repro perf bench --preset tiny --jobs 2
+    python -m repro run fir --model cc --cores 1 --preset tiny --cprofile
 
 ``figureN`` / ``table3`` commands print the experiment's paper-style
 rows; ``run`` executes one workload/configuration and prints the full
@@ -59,6 +61,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="sample activity over time and print sparklines")
     run_p.add_argument("--trace", metavar="PATH",
                        help="record the demand-access trace as JSON lines")
+    run_p.add_argument("--cprofile", metavar="PATH", nargs="?", const="",
+                       help="run under cProfile; print the hottest "
+                            "functions, or dump binary pstats to PATH")
 
     def _grid_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -105,7 +110,35 @@ def _build_parser() -> argparse.ArgumentParser:
              "see 'python -m repro grid --help'")
     grid_p.add_argument("grid_args", nargs=argparse.REMAINDER,
                         help="arguments forwarded to repro.grid")
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="benchmark the simulator itself and gate regressions; "
+             "see 'python -m repro perf --help'")
+    perf_p.add_argument("perf_args", nargs=argparse.REMAINDER,
+                        help="arguments forwarded to repro.perf")
     return parser
+
+
+def _run_profiled(cprofile: str | None, thunk):
+    """Run ``thunk``, optionally under cProfile (``run --cprofile``).
+
+    ``cprofile`` is None when profiling is off, ``""`` to print the
+    hottest functions, or a path to dump binary pstats for snakeviz &co.
+    """
+    if cprofile is None:
+        return thunk()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(thunk)
+    if cprofile:
+        profiler.dump_stats(cprofile)
+        print(f"cprofile: binary stats -> {cprofile}")
+    else:
+        pstats.Stats(profiler).sort_stats("tottime").print_stats(15)
+    return result
 
 
 def _print_run(result) -> None:
@@ -135,6 +168,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.grid.cli import main as grid_main
 
         return grid_main(args.grid_args)
+    if args.command == "perf":
+        from repro.perf.__main__ import main as perf_main
+
+        return perf_main(args.perf_args)
     if args.command == "list":
         for name in workload_names():
             print(name)
@@ -163,7 +200,7 @@ def main(argv: list[str] | None = None) -> int:
                 from repro.trace import TraceRecorder
 
                 recorder = TraceRecorder(system)
-            result = system.run()
+            result = _run_profiled(args.cprofile, system.run)
             _print_run(result)
             if sampler is not None:
                 print()
@@ -172,12 +209,12 @@ def main(argv: list[str] | None = None) -> int:
                 recorder.save(args.trace)
                 print(f"\ntrace: {len(recorder)} accesses -> {args.trace}")
         else:
-            result = run_workload(
+            result = _run_profiled(args.cprofile, lambda: run_workload(
                 args.workload, model=args.model, cores=args.cores,
                 clock_ghz=args.clock, bandwidth_gbps=args.bandwidth,
                 prefetch=args.prefetch, prefetch_depth=args.prefetch_depth,
                 preset=args.preset,
-            )
+            ))
             _print_run(result)
         return 0
     if args.command == "compare":

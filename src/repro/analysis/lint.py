@@ -22,6 +22,14 @@ REPRO005   no bare ``assert`` for invariant checks outside ``tests/``:
            ``python -O`` strips asserts — raise
            :class:`~repro.sim.kernel.InvariantViolation` or
            :class:`~repro.sim.kernel.SimulationError` instead
+REPRO006   no float arithmetic assigned to exact integer quantities:
+           an assignment (or augmented assignment) whose target ends in
+           ``_fs`` / ``_cycles`` must not mix in float
+           literals or true division — the run-until-miss fast path
+           advances local copies of the clock with plain ``+=``, and one
+           float contaminates every later timestamp.  Quantize
+           explicitly (``round(...)`` / ``int(...)`` or the
+           :mod:`repro.units` converters) or use ``//``
 ========== ==========================================================
 
 Suppression: append ``# repro-lint: disable=REPRO001`` (comma-separate
@@ -55,6 +63,13 @@ _UNIT_SUFFIXES = ("_fs", "_ns", "_us", "_ms", "_s", "_bytes", "_bits", "_kib",
 
 #: Name endings that mark exact integer time/cycle quantities (REPRO002).
 _EXACT_QUANTITY_RE = re.compile(r"(_fs|_ns|_cycles|cycle_fs)$")
+
+#: Name endings in the *integer* time domain (REPRO006).  Narrower than
+#: :data:`_EXACT_QUANTITY_RE`: ``_ns`` quantities are the human-friendly
+#: float configuration domain and may carry fractions; only once
+#: converted to femtoseconds (or cycle counts) must values stay integer.
+_INT_QUANTITY_RE = re.compile(r"(_fs|_cycles)$")
+
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 
@@ -100,6 +115,42 @@ def _is_float_constant(node: ast.AST) -> bool:
     if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
         return _is_float_constant(node.operand)
     return False
+
+
+def _float_taint(node: ast.AST) -> ast.AST | None:
+    """First sub-expression introducing float arithmetic, or None.
+
+    Walks bare arithmetic only (``+ - * //`` chains, unary ops,
+    conditional expressions); a float literal or a true division anywhere
+    in the walked expression taints it.  Calls are *not* descended into:
+    explicit quantizers (``round``, ``int``) and the unit converters
+    return exact integers by contract, and unknown callables are given
+    the benefit of the doubt — the rule targets inline clock arithmetic,
+    where the float has nowhere to hide.
+    """
+    if isinstance(node, ast.Constant):
+        return node if type(node.value) is float else None
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return node
+        return _float_taint(node.left) or _float_taint(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _float_taint(node.operand)
+    if isinstance(node, ast.IfExp):
+        return _float_taint(node.body) or _float_taint(node.orelse)
+    return None
+
+
+def _exact_target_name(node: ast.AST) -> str | None:
+    """The terminal name of an assignment target, if it is exact-integer."""
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is not None and _INT_QUANTITY_RE.search(name):
+        return name
+    return None
 
 
 def _needs_unit_suffix(name: str) -> bool:
@@ -198,6 +249,7 @@ class _Visitor(ast.NodeVisitor):
                         and isinstance(target.value, ast.Name)
                         and target.value.id == "self"):
                     self._check_attr_name(target, target.attr)
+        self._check_exact_assign(node.targets, node.value, node)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
@@ -210,6 +262,39 @@ class _Visitor(ast.NodeVisitor):
             elif isinstance(target, ast.Name):
                 # Class-level annotated names: dataclass fields.
                 self._check_attr_name(target, target.id)
+        if node.value is not None:
+            self._check_exact_assign([node.target], node.value, node)
+        self.generic_visit(node)
+
+    # REPRO006 ---------------------------------------------------------
+    def _flag_float_arith(self, node: ast.AST, name: str,
+                          taint: ast.AST) -> None:
+        kind = ("true division" if isinstance(taint, ast.BinOp)
+                else "float literal")
+        self._add(node, "REPRO006",
+                  f"{kind} in arithmetic assigned to exact integer "
+                  f"quantity {name!r}; clock updates must stay integer "
+                  "femtoseconds — quantize with round()/int() or use '//'")
+
+    def _check_exact_assign(self, targets: list[ast.AST], value: ast.AST,
+                            node: ast.AST) -> None:
+        taint = _float_taint(value)
+        if taint is None:
+            return
+        for target in targets:
+            name = _exact_target_name(target)
+            if name is not None:
+                self._flag_float_arith(node, name, taint)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        name = _exact_target_name(node.target)
+        if name is not None:
+            if isinstance(node.op, ast.Div):
+                self._flag_float_arith(node, name, node)
+            else:
+                taint = _float_taint(node.value)
+                if taint is not None:
+                    self._flag_float_arith(node, name, taint)
         self.generic_visit(node)
 
     # REPRO004 ---------------------------------------------------------

@@ -67,20 +67,38 @@ def _mem(opcode: str, addr: int, nbytes: int, accesses: int | None) -> tuple:
     if nbytes <= 0:
         raise ValueError(f"memory operation must cover at least one byte, got {nbytes}")
     if accesses is None:
-        accesses = max(1, nbytes // WORD_BYTES)
-    if accesses <= 0:
+        # nbytes // WORD_BYTES, floored at one (WORD_BYTES is 4).
+        accesses = (nbytes >> 2) or 1
+    elif accesses <= 0:
         raise ValueError(f"access count must be positive, got {accesses}")
     return (opcode, addr, nbytes, accesses)
 
 
 def load(addr: int, nbytes: int = 32, accesses: int | None = None) -> tuple:
     """Load ``nbytes`` starting at ``addr`` (may span multiple lines)."""
-    return _mem(OP_LOAD, addr, nbytes, accesses)
+    # Workloads emit millions of these; the body is _mem inlined.
+    if addr < 0:
+        raise ValueError(f"negative address {addr:#x}")
+    if nbytes <= 0:
+        raise ValueError(f"memory operation must cover at least one byte, got {nbytes}")
+    if accesses is None:
+        accesses = (nbytes >> 2) or 1
+    elif accesses <= 0:
+        raise ValueError(f"access count must be positive, got {accesses}")
+    return (OP_LOAD, addr, nbytes, accesses)
 
 
 def store(addr: int, nbytes: int = 32, accesses: int | None = None) -> tuple:
     """Store ``nbytes`` starting at ``addr``."""
-    return _mem(OP_STORE, addr, nbytes, accesses)
+    if addr < 0:
+        raise ValueError(f"negative address {addr:#x}")
+    if nbytes <= 0:
+        raise ValueError(f"memory operation must cover at least one byte, got {nbytes}")
+    if accesses is None:
+        accesses = (nbytes >> 2) or 1
+    elif accesses <= 0:
+        raise ValueError(f"access count must be positive, got {accesses}")
+    return (OP_STORE, addr, nbytes, accesses)
 
 
 def pfs_store(addr: int, nbytes: int = 32, accesses: int | None = None) -> tuple:

@@ -20,12 +20,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.core import ops as op_mod
 from repro.core.sync import (
     BARRIER_OVERHEAD_CYCLES,
     LOCK_OVERHEAD_CYCLES,
     TASK_POP_OVERHEAD_CYCLES,
 )
+from repro.mem.coherence import MesiState
+from repro.sim.fastpath import fastpath_enabled
 from repro.sim.kernel import SimulationError
 from repro.units import ns_to_fs
 
@@ -60,6 +61,9 @@ class Processor:
         engines = getattr(system.hierarchy, "dma_engines", None)
         if engines is not None:
             self._dma_engine = engines[core_id]
+        #: Run-until-miss fast path (see :mod:`repro.sim.fastpath`).
+        #: Read at construction so one system runs one mode throughout.
+        self._fastpath = fastpath_enabled()
         # Clock and accounting (all femtoseconds)
         self.now = 0
         self.useful_fs = 0
@@ -97,174 +101,299 @@ class Processor:
     # ------------------------------------------------------------------
 
     def _run(self) -> None:
-        """Interpret operations until suspension, quantum expiry, or the end."""
-        gen = self._gen
+        """Interpret operations until suspension, quantum expiry, or the end.
+
+        This is the simulator's single hottest loop, and it is written
+        accordingly: the local clock and every per-op counter live in
+        local variables (flushed back to the object in one place),
+        bound methods are hoisted out of the loop, and — with the fast
+        path enabled — two classes of event-queue round trips disappear:
+
+        * **Guaranteed L1 hits** are retired inline (LRU touch + counter)
+          without calling into the hierarchy walker.  A line that is
+          absent, still in flight (``ready_fs``), or carrying a prefetch
+          tag takes the ordinary walker path, so every stat and timestamp
+          is bit-identical.
+        * **Quantum expiry** only re-enters the event queue when another
+          event is pending at or before the core's local clock.  When the
+          queue is empty or its head lies in this core's future, the
+          kernel would pop this core's own resume event next with nothing
+          in between, so eliding the yield cannot change the interleaving
+          of shared-resource acquisitions — the core just keeps running
+          (run-until-miss/sync/boundary) with a renewed quantum.
+
+        ``REPRO_FASTPATH=0`` disables both, restoring the seed's
+        one-event-per-quantum execution; per-access side channels (trace
+        hooks, invariant observers) disable the inline-hit path alone.
+        """
+        gen_send = self._gen.send
         cycle_fs = self.cycle_fs
         hierarchy = self.hierarchy
+        load_line = hierarchy.load_line
+        store_line = hierarchy.store_line
         core_id = self.core_id
-        limit = self.now + self._quantum_fs
-        while True:
-            try:
-                op = gen.send(self._send_value)
-            except StopIteration:
-                self._finish()
-                return
-            self._send_value = None
-            kind = op[0]
+        line_shift = self._line_shift
+        quantum_fs = self._quantum_fs
+        fastpath = self._fastpath
+        fast_mem = fastpath and hierarchy.fastpath_safe
+        # The inline hit path goes straight at the L1's per-set dicts; the
+        # slow path (and every miss) re-enters through the cache's public
+        # methods, so LRU order ends up identical either way.
+        l1 = hierarchy.l1s[core_id]
+        l1_sets = l1._sets
+        l1_mask = l1._set_mask
+        peek_time = self.sim.queue.peek_time
+        shared = MesiState.SHARED
+        modified = MesiState.MODIFIED
 
-            if kind == "c":
-                _, cycles, instructions, l1_accesses = op
-                self.now += cycles * cycle_fs
-                self.useful_fs += cycles * cycle_fs
-                self.instructions += instructions
-                self.word_accesses += l1_accesses
+        send_value = self._send_value
+        now = self.now
+        limit = now + quantum_fs
+        # Batched deltas, flushed by _flush_locals at every exit.
+        useful = 0
+        sync = 0
+        load_stall = 0
+        store_stall = 0
+        instructions = 0
+        word_accesses = 0
+        local_accesses = 0
+        icache_misses = 0
+        loads_hit = 0
+        stores_hit = 0
 
-            elif kind == "ld":
-                _, addr, nbytes, accesses = op
-                issue = accesses * cycle_fs
-                self.now += issue
-                self.useful_fs += issue
-                self.instructions += accesses
-                self.word_accesses += accesses
-                first = addr >> self._line_shift
-                last = (addr + nbytes - 1) >> self._line_shift
-                now = self.now
-                for line in range(first, last + 1):
-                    done = hierarchy.load_line(core_id, line, now)
+        # Exit actions: how the loop below was left.
+        FINISH, SUSPEND, YIELD = 0, 1, 2
+        action = SUSPEND
+        try:
+            while True:
+                try:
+                    op = gen_send(send_value)
+                except StopIteration:
+                    action = FINISH
+                    break
+                send_value = None
+                kind = op[0]
+
+                if kind == "c":
+                    _, cycles, op_instructions, l1_accesses = op
+                    cost = cycles * cycle_fs
+                    now += cost
+                    useful += cost
+                    instructions += op_instructions
+                    word_accesses += l1_accesses
+
+                elif kind == "ld":
+                    _, addr, nbytes, accesses = op
+                    issue = accesses * cycle_fs
+                    now += issue
+                    useful += issue
+                    instructions += accesses
+                    word_accesses += accesses
+                    line = addr >> line_shift
+                    last = (addr + nbytes - 1) >> line_shift
+                    while True:
+                        if fast_mem:
+                            cache_set = l1_sets[line & l1_mask]
+                            entry = cache_set.get(line)
+                            if (entry is not None and entry.ready_fs <= now
+                                    and not entry.prefetched):
+                                cache_set.move_to_end(line)
+                                loads_hit += 1
+                                if line == last:
+                                    break
+                                line += 1
+                                continue
+                        done = load_line(core_id, line, now)
+                        if done > now:
+                            load_stall += done - now
+                            now = done
+                        if line == last:
+                            break
+                        line += 1
+
+                elif kind == "st" or kind == "pfs":
+                    _, addr, nbytes, accesses = op
+                    issue = accesses * cycle_fs
+                    now += issue
+                    useful += issue
+                    instructions += accesses
+                    word_accesses += accesses
+                    no_allocate = kind == "pfs"
+                    line = addr >> line_shift
+                    last = (addr + nbytes - 1) >> line_shift
+                    while True:
+                        if fast_mem:
+                            cache_set = l1_sets[line & l1_mask]
+                            entry = cache_set.get(line)
+                            if entry is not None and entry.state is not shared:
+                                cache_set.move_to_end(line)
+                                entry.state = modified
+                                entry.prefetched = False
+                                stores_hit += 1
+                                if line == last:
+                                    break
+                                line += 1
+                                continue
+                        stall = store_line(core_id, line, now,
+                                           no_allocate=no_allocate)
+                        if stall:
+                            store_stall += stall
+                            now += stall
+                        if line == last:
+                            break
+                        line += 1
+
+                elif kind == "lsld" or kind == "lsst":
+                    _, offset, nbytes, accesses = op
+                    store = self._local_store[core_id]
+                    store.check_range(offset, nbytes)
+                    if kind == "lsld":
+                        store.record_read(nbytes, accesses)
+                    else:
+                        store.record_write(nbytes, accesses)
+                    issue = accesses * cycle_fs
+                    now += issue
+                    useful += issue
+                    instructions += accesses
+                    local_accesses += accesses
+
+                elif kind == "dget" or kind == "dput":
+                    _, tag, addr, nbytes, stride, block = op
+                    engine = self._dma_engine
+                    if engine is None:
+                        raise SimulationError(
+                            f"core {core_id}: DMA issued on the "
+                            "cache-coherent model"
+                        )
+                    setup = self._dma_setup_cycles * cycle_fs
+                    now += setup
+                    useful += setup
+                    instructions += self._dma_setup_cycles
+                    if kind == "dget":
+                        done = engine.get(now, addr, nbytes, stride, block)
+                    else:
+                        done = engine.put(now, addr, nbytes, stride, block)
+                    previous = self._dma_tags.get(tag, 0)
+                    if done > previous:
+                        self._dma_tags[tag] = done
+
+                elif kind == "dwait":
+                    done = self._dma_tags.get(op[1], now)
                     if done > now:
-                        self.load_stall_fs += done - now
+                        sync += done - now
                         now = done
-                self.now = now
 
-            elif kind == "st" or kind == "pfs":
-                _, addr, nbytes, accesses = op
-                issue = accesses * cycle_fs
-                self.now += issue
-                self.useful_fs += issue
-                self.instructions += accesses
-                self.word_accesses += accesses
-                no_allocate = kind == "pfs"
-                first = addr >> self._line_shift
-                last = (addr + nbytes - 1) >> self._line_shift
-                now = self.now
-                for line in range(first, last + 1):
-                    stall = hierarchy.store_line(core_id, line, now,
-                                                 no_allocate=no_allocate)
-                    if stall:
-                        self.store_stall_fs += stall
-                        now += stall
-                self.now = now
+                elif kind == "bar":
+                    overhead = BARRIER_OVERHEAD_CYCLES * cycle_fs
+                    now += overhead
+                    useful += overhead
+                    instructions += BARRIER_OVERHEAD_CYCLES
+                    release = op[1].arrive(self, now)
+                    if release is None:
+                        break  # suspended; the barrier will wake us
+                    sync += release - now
+                    now = release
 
-            elif kind == "lsld" or kind == "lsst":
-                _, offset, nbytes, accesses = op
-                store = self._local_store[core_id]
-                store.check_range(offset, nbytes)
-                if kind == "lsld":
-                    store.record_read(nbytes, accesses)
+                elif kind == "lock":
+                    overhead = LOCK_OVERHEAD_CYCLES * cycle_fs
+                    now += overhead
+                    useful += overhead
+                    instructions += LOCK_OVERHEAD_CYCLES
+                    granted = op[1].acquire(self, now)
+                    if granted is None:
+                        break  # suspended; the lock will wake us
+
+                elif kind == "unlock":
+                    op[1].release(self, now)
+
+                elif kind == "pop":
+                    overhead_fs = TASK_POP_OVERHEAD_CYCLES * cycle_fs
+                    instructions += TASK_POP_OVERHEAD_CYCLES
+                    item, done = op[1].pop(now, overhead_fs)
+                    wait = done - now
+                    useful += overhead_fs
+                    sync += wait - overhead_fs
+                    now = done
+                    send_value = item
+
+                elif kind == "bpf":
+                    _, addr, nbytes = op
+                    setup = self._dma_setup_cycles * cycle_fs
+                    now += setup
+                    useful += setup
+                    instructions += self._dma_setup_cycles
+                    first = addr >> line_shift
+                    last = (addr + nbytes - 1) >> line_shift
+                    hierarchy.bulk_prefetch(core_id, first, last, now)
+
+                elif kind == "cfl" or kind == "cinv":
+                    _, addr, nbytes = op
+                    first = addr >> line_shift
+                    last = (addr + nbytes - 1) >> line_shift
+                    n_lines = last - first + 1
+                    # Software loop: one instruction per line walked.
+                    cost = n_lines * cycle_fs
+                    now += cost
+                    useful += cost
+                    instructions += n_lines
+                    if kind == "cfl":
+                        hierarchy.flush_range(core_id, first, last, now)
+                    else:
+                        hierarchy.invalidate_range(core_id, first, last, now)
+
+                elif kind == "im":
+                    count = op[1]
+                    icache_misses += count
+                    penalty = count * self._imiss_fs
+                    now += penalty
+                    useful += penalty
+
                 else:
-                    store.record_write(nbytes, accesses)
-                issue = accesses * cycle_fs
-                self.now += issue
-                self.useful_fs += issue
-                self.instructions += accesses
-                self.local_accesses += accesses
+                    raise SimulationError(f"core {core_id}: unknown op {op!r}")
 
-            elif kind == "dget" or kind == "dput":
-                _, tag, addr, nbytes, stride, block = op
-                engine = self._dma_engine
-                if engine is None:
-                    raise SimulationError(
-                        f"core {core_id}: DMA issued on the cache-coherent model"
-                    )
-                setup = self._dma_setup_cycles * cycle_fs
-                self.now += setup
-                self.useful_fs += setup
-                self.instructions += self._dma_setup_cycles
-                if kind == "dget":
-                    done = engine.get(self.now, addr, nbytes, stride, block)
-                else:
-                    done = engine.put(self.now, addr, nbytes, stride, block)
-                previous = self._dma_tags.get(tag, 0)
-                if done > previous:
-                    self._dma_tags[tag] = done
+                if now >= limit:
+                    if fastpath:
+                        next_fs = peek_time()
+                        if next_fs is None or next_fs > now:
+                            # Sole runnable actor: our resume event would
+                            # pop next with nothing in between.  Renew the
+                            # quantum in place instead of going through
+                            # the heap.
+                            limit = now + quantum_fs
+                            continue
+                    action = YIELD
+                    break
+        finally:
+            # Single flush point: every exit (finish, suspend, yield, or
+            # an op raising mid-quantum) folds the batch back exactly once.
+            self._flush_locals(
+                now, send_value, useful, sync, load_stall, store_stall,
+                instructions, word_accesses, local_accesses, icache_misses,
+                loads_hit, stores_hit)
+        if action == FINISH:
+            self._finish()
+        elif action == YIELD:
+            self.sim.at(self.now, self._step)
 
-            elif kind == "dwait":
-                done = self._dma_tags.get(op[1], self.now)
-                if done > self.now:
-                    self.sync_fs += done - self.now
-                    self.now = done
-
-            elif kind == "bar":
-                overhead = BARRIER_OVERHEAD_CYCLES * cycle_fs
-                self.now += overhead
-                self.useful_fs += overhead
-                self.instructions += BARRIER_OVERHEAD_CYCLES
-                release = op[1].arrive(self, self.now)
-                if release is None:
-                    return  # suspended; the barrier will wake us
-                self.sync_fs += release - self.now
-                self.now = release
-
-            elif kind == "lock":
-                overhead = LOCK_OVERHEAD_CYCLES * cycle_fs
-                self.now += overhead
-                self.useful_fs += overhead
-                self.instructions += LOCK_OVERHEAD_CYCLES
-                granted = op[1].acquire(self, self.now)
-                if granted is None:
-                    return  # suspended; the lock will wake us
-
-            elif kind == "unlock":
-                op[1].release(self, self.now)
-
-            elif kind == "pop":
-                overhead_fs = TASK_POP_OVERHEAD_CYCLES * cycle_fs
-                self.instructions += TASK_POP_OVERHEAD_CYCLES
-                item, done = op[1].pop(self.now, overhead_fs)
-                wait = done - self.now
-                self.useful_fs += overhead_fs
-                self.sync_fs += wait - overhead_fs
-                self.now = done
-                self._send_value = item
-
-            elif kind == "bpf":
-                _, addr, nbytes = op
-                setup = self._dma_setup_cycles * cycle_fs
-                self.now += setup
-                self.useful_fs += setup
-                self.instructions += self._dma_setup_cycles
-                first = addr >> self._line_shift
-                last = (addr + nbytes - 1) >> self._line_shift
-                hierarchy.bulk_prefetch(core_id, first, last, self.now)
-
-            elif kind == "cfl" or kind == "cinv":
-                _, addr, nbytes = op
-                first = addr >> self._line_shift
-                last = (addr + nbytes - 1) >> self._line_shift
-                n_lines = last - first + 1
-                # Software loop: one instruction per line walked.
-                cost = n_lines * cycle_fs
-                self.now += cost
-                self.useful_fs += cost
-                self.instructions += n_lines
-                if kind == "cfl":
-                    hierarchy.flush_range(core_id, first, last, self.now)
-                else:
-                    hierarchy.invalidate_range(core_id, first, last, self.now)
-
-            elif kind == "im":
-                count = op[1]
-                self.icache_misses += count
-                penalty = count * self._imiss_fs
-                self.now += penalty
-                self.useful_fs += penalty
-
-            else:
-                raise SimulationError(f"core {core_id}: unknown op {op!r}")
-
-            if self.now >= limit:
-                self.sim.at(self.now, self._step)
-                return
+    def _flush_locals(self, now, send_value, useful, sync, load_stall,
+                      store_stall, instructions, word_accesses,
+                      local_accesses, icache_misses, loads_hit,
+                      stores_hit) -> None:
+        """Fold the hot loop's batched deltas back into the object state."""
+        self.now = now
+        self._send_value = send_value
+        self.useful_fs += useful
+        self.sync_fs += sync
+        self.load_stall_fs += load_stall
+        self.store_stall_fs += store_stall
+        self.instructions += instructions
+        self.word_accesses += word_accesses
+        self.local_accesses += local_accesses
+        self.icache_misses += icache_misses
+        if loads_hit or stores_hit:
+            hierarchy = self.hierarchy
+            hierarchy.load_ops += loads_hit
+            hierarchy.store_ops += stores_hit
 
     def _finish(self) -> None:
         self.done = True

@@ -69,11 +69,22 @@ class CmpSystem:
         if processor.finish_fs > self.exec_time_fs:
             self.exec_time_fs = processor.finish_fs
 
-    def run(self) -> RunResult:
-        """Execute the program to completion and return the measurements."""
+    def run(self, loop=None) -> RunResult:
+        """Execute the program to completion and return the measurements.
+
+        ``loop`` optionally replaces the default ``self.sim.run()`` event
+        loop with a callable taking the simulator; it must drain the
+        queue completely.  Pull-style drivers
+        (:meth:`repro.sim.sampling.IntervalSampler.drive`) use it to step
+        the run boundary by boundary with
+        :meth:`~repro.sim.kernel.Simulator.drain_until`.
+        """
         for processor in self.processors:
             processor.start()
-        self.sim.run()
+        if loop is None:
+            self.sim.run()
+        else:
+            loop(self.sim)
         if self._finished != len(self.processors):
             blocked = [p.core_id for p in self.processors if not p.done]
             raise SimulationError(

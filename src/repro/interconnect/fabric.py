@@ -16,6 +16,8 @@ from repro.units import ns_to_fs
 class _Link(OccupancyResource):
     """A link with width-quantized service time."""
 
+    __slots__ = ("width_bytes", "cycle_fs", "bytes_moved")
+
     def __init__(self, name: str, width_bytes: int, cycle_ns: float,
                  latency_ns: float) -> None:
         super().__init__(name, latency_fs=ns_to_fs(latency_ns))
@@ -28,7 +30,7 @@ class _Link(OccupancyResource):
         if num_bytes < 0:
             raise ValueError(f"{self.name}: negative transfer {num_bytes}")
         self.bytes_moved += num_bytes
-        cycles = max(1, -(-num_bytes // self.width_bytes))
+        cycles = -(-num_bytes // self.width_bytes) or 1
         _, done = self.acquire(now_fs, cycles * self.cycle_fs)
         return done
 
@@ -71,6 +73,8 @@ class ClusterBus:
 
 class CrossbarPort(_Link):
     """One direction of a cluster's (or L2 bank's) crossbar port (16 bytes)."""
+
+    __slots__ = ()
 
     def __init__(self, name: str, config: InterconnectConfig) -> None:
         super().__init__(

@@ -50,6 +50,9 @@ class SetAssocCache:
     and energy accounting live in the hierarchy walker.
     """
 
+    __slots__ = ("config", "name", "num_sets", "associativity", "_set_mask",
+                 "_sets", "_resident")
+
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         self.config = config
         self.name = name
@@ -59,17 +62,22 @@ class SetAssocCache:
         self._sets: list[OrderedDict[int, CacheLine]] = [
             OrderedDict() for _ in range(self.num_sets)
         ]
+        # Resident-line count, maintained incrementally: occupancy() sits
+        # on the debug_invariants monitor hot path, where summing every
+        # set per call is O(num_sets) for a quantity that changes by at
+        # most one per insert/invalidate.
+        self._resident = 0
 
     def _set_for(self, line: int) -> OrderedDict[int, CacheLine]:
         return self._sets[line & self._set_mask]
 
     def lookup(self, line: int) -> CacheLine | None:
         """Return the resident line, or None.  Does not update LRU."""
-        return self._set_for(line).get(line)
+        return self._sets[line & self._set_mask].get(line)
 
     def touch(self, line: int) -> CacheLine | None:
         """Look up a line and mark it most-recently-used."""
-        cache_set = self._set_for(line)
+        cache_set = self._sets[line & self._set_mask]
         entry = cache_set.get(line)
         if entry is not None:
             cache_set.move_to_end(line)
@@ -85,18 +93,23 @@ class SetAssocCache:
         """
         if state is MesiState.INVALID:
             raise ValueError("cannot insert a line in INVALID state")
-        cache_set = self._set_for(line)
+        cache_set = self._sets[line & self._set_mask]
         if line in cache_set:
             raise ValueError(f"{self.name}: line {line:#x} already resident")
         victim = None
         if len(cache_set) >= self.associativity:
             _, victim = cache_set.popitem(last=False)
+        else:
+            self._resident += 1
         cache_set[line] = CacheLine(line, state, ready_fs, prefetched)
         return victim
 
     def invalidate(self, line: int) -> CacheLine | None:
         """Remove a line; returns its metadata (for dirty write-back) or None."""
-        return self._set_for(line).pop(line, None)
+        victim = self._sets[line & self._set_mask].pop(line, None)
+        if victim is not None:
+            self._resident -= 1
+        return victim
 
     def lines(self) -> Iterator[CacheLine]:
         """Iterate over every resident line (LRU to MRU within each set)."""
@@ -104,10 +117,11 @@ class SetAssocCache:
             yield from cache_set.values()
 
     def occupancy(self) -> int:
-        """Total number of resident lines."""
-        return sum(len(s) for s in self._sets)
+        """Total number of resident lines (O(1): counter, not a set walk)."""
+        return self._resident
 
     def clear(self) -> None:
         """Drop every resident line."""
         for cache_set in self._sets:
             cache_set.clear()
+        self._resident = 0

@@ -136,6 +136,17 @@ class DmaEngine:
         self._engine_free = done
         return done
 
+    def drain_time(self, now_fs: int) -> int:
+        """Time the engine goes quiet (for end-of-run settling).
+
+        A program may terminate with commands still in flight (it never
+        issued a ``dma_wait``); the bytes those commands move are counted
+        at the DRAM pins, so the settle point must cover their completion
+        or short runs can report an average bandwidth above the channel's
+        capacity.
+        """
+        return max(now_fs, self._engine_free)
+
     def _granules(self, addr: int, nbytes: int) -> Iterable[tuple[int, int]]:
         """Split a block into line-aligned granules of at most one line."""
         line = self.line_bytes

@@ -48,6 +48,9 @@ class DramChannel:
         self._interleave = config.interleave_bytes
         self._latency_fs = config.latency_fs
         self._banked = config.banks > 1 and config.row_hit_latency_ns is not None
+        # Single-channel flat-latency config (every paper experiment):
+        # read/write skip the channel/latency dispatch helpers entirely.
+        self._simple = config.channels == 1 and not self._banked
         if self._banked:
             self._row_hit_fs = ns_to_fs(config.row_hit_latency_ns)
             self._row_bytes = config.row_bytes
@@ -87,6 +90,11 @@ class DramChannel:
         """Fetch ``num_bytes``; returns the completion time (data available)."""
         self.read_bytes += num_bytes
         self.read_accesses += 1
+        if self._simple:
+            channel = self.channel
+            channel.bytes_moved += num_bytes
+            _, done = channel.acquire(now_fs, num_bytes * channel.fs_per_byte)
+            return done + self._latency_fs
         _, done = self._channel_for(addr).transfer(now_fs, num_bytes)
         return done + self._latency_for(addr)
 
@@ -98,6 +106,11 @@ class DramChannel:
         """
         self.write_bytes += num_bytes
         self.write_accesses += 1
+        if self._simple:
+            channel = self.channel
+            channel.bytes_moved += num_bytes
+            _, done = channel.acquire(now_fs, num_bytes * channel.fs_per_byte)
+            return done + self._latency_fs
         _, done = self._channel_for(addr).transfer(now_fs, num_bytes)
         return done + self._latency_for(addr)
 

@@ -51,6 +51,7 @@ class Uncore:
             for b in range(num_clusters)
         ]
         self._l2_service_fs = ns_to_fs(ic.crossbar_cycle_ns)
+        self._num_banks = len(self.l2_banks)
         self.dram = DramChannel(config.dram)
         self.line_bytes = config.line_bytes
         # L2 statistics
@@ -62,7 +63,7 @@ class Uncore:
         self.l2_refills_avoided = 0
 
     def _bank(self, line: int) -> OccupancyResource:
-        return self.l2_banks[line % len(self.l2_banks)]
+        return self.l2_banks[line % self._num_banks]
 
     def _evict(self, victim, when_fs: int) -> None:
         """Handle an L2 victim: dirty lines are written back to DRAM.
@@ -81,9 +82,15 @@ class Uncore:
     def l2_read(self, line: int, now_fs: int) -> tuple[int, bool]:
         """Read one line through the L2.  Returns (completion_fs, hit)."""
         self.l2_reads += 1
-        entry = self.l2.touch(line)
-        _, sent = self._bank(line).acquire(now_fs, self._l2_service_fs)
+        # SetAssocCache.touch, inlined: this is the busiest uncore entry
+        # point (every L1 miss and every DMA line granule lands here).
+        l2 = self.l2
+        cache_set = l2._sets[line & l2._set_mask]
+        entry = cache_set.get(line)
+        bank = self.l2_banks[line % self._num_banks]
+        _, sent = bank.acquire(now_fs, self._l2_service_fs)
         if entry is not None:
+            cache_set.move_to_end(line)
             self.l2_read_hits += 1
             return sent, True
         done = self.dram.read(sent, self.line_bytes,
@@ -102,7 +109,8 @@ class Uncore:
         """
         self.l2_writes += 1
         entry = self.l2.touch(line)
-        _, sent = self._bank(line).acquire(now_fs, self._l2_service_fs)
+        bank = self.l2_banks[line % self._num_banks]
+        _, sent = bank.acquire(now_fs, self._l2_service_fs)
         if entry is not None:
             self.l2_write_hits += 1
             entry.state = MesiState.MODIFIED
@@ -127,7 +135,8 @@ class Uncore:
         """
         self.l2_reads += 1
         entry = self.l2.touch(line)
-        _, sent = self._bank(line).acquire(now_fs, self._l2_service_fs)
+        bank = self.l2_banks[line % self._num_banks]
+        _, sent = bank.acquire(now_fs, self._l2_service_fs)
         if entry is not None:
             self.l2_read_hits += 1
             return sent
@@ -145,7 +154,8 @@ class Uncore:
         """
         self.l2_writes += 1
         entry = self.l2.touch(line)
-        _, sent = self._bank(line).acquire(now_fs, self._l2_service_fs)
+        bank = self.l2_banks[line % self._num_banks]
+        _, sent = bank.acquire(now_fs, self._l2_service_fs)
         if entry is not None:
             self.l2_write_hits += 1
             entry.state = MesiState.MODIFIED
@@ -158,12 +168,16 @@ class Uncore:
     def flush(self, now_fs: int) -> int:
         """Write every dirty L2 line back to DRAM (end-of-run settling)."""
         t = now_fs
-        for entry in self.l2.lines():
-            if entry.state is MesiState.MODIFIED:
-                entry.state = MesiState.EXCLUSIVE
-                self.l2_writebacks += 1
-                t = self.dram.write(t, self.line_bytes,
-                                    addr=entry.line * self.line_bytes)
+        modified = MesiState.MODIFIED
+        # Walk the per-set dicts directly: lines() is a generator chain,
+        # and this walk visits every set of a 16K-line cache per run.
+        for cache_set in self.l2._sets:
+            for entry in cache_set.values():
+                if entry.state is modified:
+                    entry.state = MesiState.EXCLUSIVE
+                    self.l2_writebacks += 1
+                    t = self.dram.write(t, self.line_bytes,
+                                        addr=entry.line * self.line_bytes)
         return t
 
 
@@ -198,6 +212,24 @@ class CacheCoherentHierarchy:
         # consult the directory instead of broadcasting snoops.
         self._directory_mode = config.coherence is CoherenceKind.DIRECTORY
         self._sharers: dict[int, set[int]] = {}
+        # A single broadcast-mode core has no peers to snoop or
+        # invalidate: skip the owner/invalidate walk entirely.  (Directory
+        # mode still consults the directory so its lookup count is
+        # meaningful even solo.)
+        self._no_peers = num_cores == 1 and not self._directory_mode
+        # Broadcast mode snoops a static peer set; precompute the tuples
+        # so the hot lookup paths do not rebuild them per access.
+        self._broadcast_peers = [
+            tuple(c for c in range(num_cores) if c != requester)
+            for requester in range(num_cores)
+        ]
+        # Per-core interconnect endpoints, pre-resolved: the miss walk is
+        # the simulator's hottest call chain after the op loop itself.
+        self._core_ports = [
+            (self.uncore.buses[cl], self.uncore.xbar.up[cl],
+             self.uncore.xbar.down[cl], cl)
+            for cl in self.cluster_of
+        ]
         #: Optional callable (now_fs, core, kind, line, latency_fs) invoked
         #: for every demand access; installed by repro.trace.TraceRecorder.
         self.trace_hook = None
@@ -231,6 +263,17 @@ class CacheCoherentHierarchy:
     # ------------------------------------------------------------------
     # Invariant observers (debug mode)
     # ------------------------------------------------------------------
+
+    @property
+    def fastpath_safe(self) -> bool:
+        """True when the inline L1-hit fast path preserves all side effects.
+
+        Trace hooks and invariant observers fire on *every* demand access,
+        including hits; while either is attached, the processor must route
+        hits through :meth:`load_line`/:meth:`store_line` so the side
+        channels observe them.
+        """
+        return self.trace_hook is None and not self._observers
 
     def register_observer(self, observer) -> None:
         """Attach an invariant observer (see :mod:`repro.analysis.monitors`).
@@ -273,7 +316,7 @@ class CacheCoherentHierarchy:
                 return ()
             # Sorted for deterministic supplier selection.
             return tuple(c for c in sorted(holders) if c != requester)
-        return tuple(c for c in range(len(self.l1s)) if c != requester)
+        return self._broadcast_peers[requester]
 
     def _find_owner(self, line: int, requester: int) -> tuple[int, MesiState] | None:
         """Return (core, state) of a peer holding ``line``, preferring M/E."""
@@ -340,10 +383,11 @@ class CacheCoherentHierarchy:
     def writeback(self, core: int, line: int, now_fs: int) -> int:
         """Write a dirty L1 line back to the L2 (posted; returns done time)."""
         self.l1_writebacks += 1
-        cluster = self.cluster_of[core]
         uncore = self.uncore
-        t = uncore.buses[cluster].req.transfer(now_fs, uncore.line_bytes)
-        t = uncore.xbar.up[cluster].transfer(t, uncore.line_bytes)
+        bus, xbar_up, _, _ = self._core_ports[core]
+        line_bytes = uncore.line_bytes
+        t = bus.req.transfer(now_fs, line_bytes)
+        t = xbar_up.transfer(t, line_bytes)
         return uncore.l2_write(line, t, refill=False)
 
     def _fetch(self, core: int, line: int, now_fs: int, for_write: bool,
@@ -352,17 +396,17 @@ class CacheCoherentHierarchy:
 
         Returns the time the requested line is installed in the L1.
         """
-        cluster = self.cluster_of[core]
         uncore = self.uncore
-        bus = uncore.buses[cluster]
+        bus, xbar_up, xbar_down, cluster = self._core_ports[core]
         line_bytes = uncore.line_bytes
         t = bus.req.control(now_fs)
 
-        owner = self._find_owner(line, core)
-        if for_write:
-            any_remote = self._invalidate_peers(line, core)
-            if any_remote:
-                t = uncore.xbar.up[cluster].control(t)
+        if self._no_peers:
+            owner = None
+        else:
+            owner = self._find_owner(line, core)
+            if for_write and self._invalidate_peers(line, core):
+                t = xbar_up.control(t)
 
         if owner is not None:
             owner_core, owner_state = owner
@@ -370,9 +414,9 @@ class CacheCoherentHierarchy:
             self.cache_to_cache += 1
             if owner_cluster != cluster:
                 # Remote supply: request over the crossbar, data back over it.
-                t = uncore.xbar.up[cluster].control(t)
+                t = xbar_up.control(t)
                 t = uncore.buses[owner_cluster].resp.transfer(t, line_bytes)
-                t = uncore.xbar.down[cluster].transfer(t, line_bytes)
+                t = xbar_down.transfer(t, line_bytes)
             t = bus.resp.transfer(t, line_bytes)
             if for_write:
                 # Ownership (and any dirty data) moves to the requester;
@@ -394,9 +438,9 @@ class CacheCoherentHierarchy:
             self.refills_avoided += 1
             self._install(core, line, MesiState.MODIFIED, now_fs)
             return t
-        t = uncore.xbar.up[cluster].control(t)
+        t = xbar_up.control(t)
         t, _ = uncore.l2_read(line, t)
-        t = uncore.xbar.down[cluster].transfer(t, line_bytes)
+        t = xbar_down.transfer(t, line_bytes)
         t = bus.resp.transfer(t, line_bytes)
         state = MesiState.MODIFIED if for_write else MesiState.EXCLUSIVE
         self._install(core, line, state, now_fs)
@@ -594,13 +638,15 @@ class CacheCoherentHierarchy:
         to use less bandwidth than one that wrote it out during the run.
         """
         t = now_fs
+        modified = MesiState.MODIFIED
         for buffer in self.store_buffers:
             t = max(t, buffer.drain_time(now_fs))
         for core, l1 in enumerate(self.l1s):
-            for entry in l1.lines():
-                if entry.state is MesiState.MODIFIED:
-                    entry.state = MesiState.SHARED
-                    t = max(t, self.writeback(core, entry.line, t))
+            for cache_set in l1._sets:
+                for entry in cache_set.values():
+                    if entry.state is modified:
+                        entry.state = MesiState.SHARED
+                        t = max(t, self.writeback(core, entry.line, t))
         return max(t, self.uncore.flush(t))
 
     # ------------------------------------------------------------------
@@ -658,6 +704,18 @@ class StreamingHierarchy(CacheCoherentHierarchy):
                       config.stream, config.line_bytes)
             for i in range(config.num_cores)
         ]
+
+    def drain(self, now_fs: int) -> int:
+        """Settle caches *and* any DMA commands still in flight.
+
+        A thread that exits without a final ``dma_wait`` leaves its
+        engine's last command completing after the cores go idle; the
+        traffic was already counted, so the settle point must cover it.
+        """
+        t = super().drain(now_fs)
+        for engine in self.dma_engines:
+            t = max(t, engine.drain_time(now_fs))
+        return t
 
     @property
     def dma_bytes(self) -> int:

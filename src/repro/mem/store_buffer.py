@@ -17,6 +17,8 @@ from collections import deque
 class StoreBuffer:
     """Bounded queue of outstanding store completion times."""
 
+    __slots__ = ("entries", "_pending", "stores_buffered", "full_stalls")
+
     def __init__(self, entries: int) -> None:
         if entries <= 0:
             raise ValueError(f"store buffer needs at least one entry, got {entries}")

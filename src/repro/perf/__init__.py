@@ -1,0 +1,27 @@
+"""Benchmarks of the simulator itself (wall time, not simulated time).
+
+See :mod:`repro.perf.bench` for the harness and ``docs/PERF.md`` for the
+fast-path invariants, usage, and the baseline-update procedure.
+"""
+
+from repro.perf.bench import (
+    DEFAULT_CASES,
+    BenchCase,
+    bench_case,
+    compare_reports,
+    load_report,
+    render_report,
+    run_bench,
+    save_report,
+)
+
+__all__ = [
+    "BenchCase",
+    "DEFAULT_CASES",
+    "bench_case",
+    "compare_reports",
+    "load_report",
+    "render_report",
+    "run_bench",
+    "save_report",
+]

@@ -1,0 +1,103 @@
+"""CLI for the simulator benchmark harness.
+
+Usage::
+
+    python -m repro perf bench --preset tiny --jobs 2
+    python -m repro perf bench --out BENCH_baseline.json --no-gate
+    python -m repro perf compare BENCH_abc123.json BENCH_baseline.json
+
+``bench`` writes ``BENCH_<rev>.json`` and, when a baseline file exists,
+gates against it (exit code 1 on regression).  ``compare`` re-runs the
+gate on two existing reports without simulating anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.bench import (DEFAULT_CASES, compare_reports, current_rev,
+                              load_report, render_report, run_bench,
+                              save_report)
+
+#: The committed reference report the gate runs against by default.
+DEFAULT_BASELINE = "BENCH_baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description="benchmark the simulator and gate perf regressions")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bench_p = sub.add_parser("bench", help="run the benchmark case set")
+    bench_p.add_argument("--preset", default="tiny",
+                         choices=["default", "small", "tiny"])
+    bench_p.add_argument("--repeats", type=int, default=3, metavar="N",
+                         help="wall time is the best of N runs (default 3)")
+    bench_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes across cases (default 1)")
+    bench_p.add_argument("--out", metavar="PATH",
+                         help="report path (default BENCH_<rev>.json)")
+    bench_p.add_argument("--baseline", default=DEFAULT_BASELINE,
+                         metavar="PATH",
+                         help="baseline report to gate against "
+                              f"(default {DEFAULT_BASELINE})")
+    bench_p.add_argument("--max-regression", type=float, default=0.25,
+                         metavar="FRAC",
+                         help="allowed fractional drop in speedup / growth "
+                              "in events (default 0.25)")
+    bench_p.add_argument("--no-gate", action="store_true",
+                         help="skip the baseline comparison (e.g. when "
+                              "regenerating the baseline itself)")
+
+    cmp_p = sub.add_parser(
+        "compare", help="gate one existing report against another")
+    cmp_p.add_argument("current", help="report under test (JSON)")
+    cmp_p.add_argument("baseline", help="reference report (JSON)")
+    cmp_p.add_argument("--max-regression", type=float, default=0.25,
+                       metavar="FRAC")
+    return parser
+
+
+def _gate(current: dict, baseline_path: str, max_regression: float) -> int:
+    baseline = load_report(baseline_path)
+    problems = compare_reports(current, baseline,
+                               max_regression=max_regression)
+    if problems:
+        print(f"\nperf gate vs {baseline_path}: FAIL")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"\nperf gate vs {baseline_path}: ok "
+          f"({len(baseline.get('cases', []))} case(s), "
+          f"max regression {max_regression:.0%})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _gate(load_report(args.current), args.baseline,
+                     args.max_regression)
+
+    report = run_bench(preset=args.preset, repeats=args.repeats,
+                       jobs=args.jobs)
+    print(render_report(report))
+    out = args.out or f"BENCH_{current_rev()}.json"
+    save_report(report, out)
+    print(f"report: {len(DEFAULT_CASES)} case(s) -> {out}")
+    if args.no_gate:
+        return 0
+    import os
+
+    if not os.path.exists(args.baseline):
+        print(f"perf gate: no baseline at {args.baseline}; skipping "
+              "(commit one with --out BENCH_baseline.json --no-gate)")
+        return 0
+    return _gate(report, args.baseline, args.max_regression)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

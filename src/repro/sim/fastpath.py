@@ -1,0 +1,32 @@
+"""The run-until-miss fast-path switch.
+
+The processor's hot loop (see :mod:`repro.core.processor`) can execute
+consecutive compute operations and guaranteed-L1-hit accesses without
+re-entering the event queue, falling back to the event-driven slow path
+only at misses, synchronization, DMA waits, and pending-event boundaries.
+The fast path is *bit-identical* to the slow path by construction (the
+elided events are the core's own back-to-back resume events, which the
+kernel would pop next in any case) — but because "identical by
+construction" is a claim worth distrusting, the escape hatch
+
+    REPRO_FASTPATH=0 python -m repro ...
+
+forces the original one-event-per-quantum execution, and the invariance
+tests in ``tests/test_fastpath.py`` diff full result rows across both
+modes.  Only ``stats["sim.events"]`` may differ (that is the point).
+
+The flag is read when a system is constructed, not at import time, so
+tests can toggle it per-run with ``monkeypatch.setenv``.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Values of ``REPRO_FASTPATH`` that disable the fast path.
+_OFF_VALUES = frozenset({"0", "false", "off", "no"})
+
+
+def fastpath_enabled() -> bool:
+    """True unless ``REPRO_FASTPATH`` is set to 0/false/off/no."""
+    return os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in _OFF_VALUES

@@ -43,7 +43,13 @@ class InvariantViolation(SimulationError, AssertionError):
 
 
 class EventQueue:
-    """A binary-heap event queue keyed on (time, insertion sequence)."""
+    """A binary-heap event queue keyed on (time, insertion sequence).
+
+    No ``__slots__`` here on purpose: the analysis monitors
+    (:class:`repro.analysis.monitors.EventQueueMonitor`) wrap ``pop`` on
+    the instance, and the kernel's dispatch loop routes every event
+    through that attribute so such wrappers always observe the pops.
+    """
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Callable[[], None]]] = []
@@ -119,24 +125,57 @@ class Simulator:
 
     def run(self) -> int:
         """Process events until the queue is empty.  Returns the final clock."""
+        self._dispatch(None)
+        return self.now
+
+    def drain_until(self, time_fs: int) -> int:
+        """Process every pending event with timestamp <= ``time_fs``.
+
+        The shared boundary-stepping primitive: interval sampling and the
+        processor fast path both step the simulation to a time boundary,
+        and both must honor the same (time, insertion order) dispatch rule
+        as :meth:`run`.  Events scheduled *at* the boundary fire (ties in
+        insertion order, exactly as in a full :meth:`run`); the clock ends
+        on the last processed event and never moves backwards.  Returns
+        the number of events processed (zero for an empty queue or a
+        boundary before the earliest event).
+        """
+        if type(time_fs) is not int:
+            raise SimulationError(
+                f"drain boundary must be int femtoseconds, got "
+                f"{type(time_fs).__name__} {time_fs!r}"
+            )
+        return self._dispatch(time_fs)
+
+    def _dispatch(self, until_fs: int | None) -> int:
+        """Pop-and-fire loop shared by :meth:`run` and :meth:`drain_until`."""
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
+        processed = 0
+        # Alias the hot state out of the loop.  The heap list is only
+        # *peeked* directly (for the loop condition); pops go through the
+        # queue's ``pop`` attribute so instance-level wrappers (the event
+        # queue invariant monitor) see every event.
+        heap = self.queue._heap
+        pop = self.queue.pop
+        max_events = self._max_events
         try:
-            while len(self.queue):
-                time_fs, callback = self.queue.pop()
+            while heap and (until_fs is None or heap[0][0] <= until_fs):
+                time_fs, callback = pop()
                 if time_fs < self.now:
                     raise SimulationError(
                         f"time went backwards: {time_fs} < {self.now}"
                     )
                 self.now = time_fs
                 callback()
+                processed += 1
                 self.events_processed += 1
-                if self._max_events is not None and self.events_processed > self._max_events:
+                if max_events is not None and self.events_processed > max_events:
                     raise SimulationError(
                         f"exceeded max_events={self._max_events}; "
                         "likely a livelocked workload"
                     )
         finally:
             self._running = False
-        return self.now
+        return processed

@@ -20,10 +20,18 @@ from __future__ import annotations
 
 from bisect import bisect_right
 
-#: Upper bound on remembered busy intervals per resource.  When exceeded,
-#: the oldest intervals are dropped (they are in the past for every
-#: in-flight requester, so dropping them cannot create conflicts).
+#: Lower bound on remembered busy intervals per resource.  The calendar
+#: is trimmed in chunks: once it reaches ``2 * _MAX_INTERVALS`` entries,
+#: the oldest half is dropped in one slice (amortized O(1) per request,
+#: where a per-append ``del starts[0]`` would memmove the whole list
+#: every time).  Dropped intervals are in the past for every in-flight
+#: requester, so dropping them cannot create conflicts; remembering
+#: *more* than ``_MAX_INTERVALS`` of them between trims is likewise
+#: invisible — they could only matter to an arrival earlier than every
+#: retained interval, which the trim threshold keeps far in the past.
 _MAX_INTERVALS = 96
+#: Trim threshold / retained suffix, precomputed for the hot path.
+_TRIM_AT = 2 * _MAX_INTERVALS
 
 
 class OccupancyResource:
@@ -37,6 +45,9 @@ class OccupancyResource:
         Pipeline latency added to every request (does *not* occupy the
         resource; pipelined per Table 2).
     """
+
+    __slots__ = ("name", "latency_fs", "busy_fs", "wait_fs", "requests",
+                 "_starts", "_ends")
 
     def __init__(self, name: str, latency_fs: int = 0) -> None:
         if latency_fs < 0:
@@ -68,6 +79,22 @@ class OccupancyResource:
         self.busy_fs += service_fs
         self.requests += 1
         starts, ends = self._starts, self._ends
+        # Tail fast path: most requests arrive at or after the end of the
+        # last reservation (streaming accesses walk forward in time), so
+        # serve them by appending/merging at the tail without the bisect
+        # and the O(n) mid-list inserts of the general path below.
+        if not ends or now_fs >= ends[-1]:
+            end = now_fs + service_fs
+            if service_fs:
+                if ends and ends[-1] == now_fs:
+                    ends[-1] = end
+                else:
+                    starts.append(now_fs)
+                    ends.append(end)
+                    if len(starts) >= _TRIM_AT:
+                        del starts[:_MAX_INTERVALS]
+                        del ends[:_MAX_INTERVALS]
+            return now_fs, end + self.latency_fs
         # First interval that ends after the arrival.
         index = bisect_right(ends, now_fs)
         t = now_fs
@@ -96,9 +123,9 @@ class OccupancyResource:
         else:
             starts.insert(index, start)
             ends.insert(index, end)
-        if len(starts) > _MAX_INTERVALS:
-            del starts[0]
-            del ends[0]
+        if len(starts) >= _TRIM_AT:
+            del starts[:_MAX_INTERVALS]
+            del ends[:_MAX_INTERVALS]
         return start, end + self.latency_fs
 
     def utilization(self, total_fs: int) -> float:
@@ -114,6 +141,8 @@ class ThroughputResource(OccupancyResource):
     Used for the memory channel and network links: a transfer of ``n``
     bytes occupies the resource for ``n * fs_per_byte`` femtoseconds.
     """
+
+    __slots__ = ("fs_per_byte", "bytes_moved")
 
     def __init__(self, name: str, fs_per_byte: int, latency_fs: int = 0) -> None:
         super().__init__(name, latency_fs)

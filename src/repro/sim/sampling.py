@@ -13,6 +13,17 @@ Usage::
     sampler.start()
     result = system.run()
     print(sampler.render())
+
+Two driving modes share the same snapshot logic:
+
+* **event mode** (``start()`` then ``system.run()``): the sampler
+  schedules itself as a periodic event, riding along inside the normal
+  event loop, and its ticks count toward ``sim.events``;
+* **pull mode** (``result = sampler.drive()``): the sampler runs the
+  system itself, stepping the simulator one window at a time with
+  :meth:`~repro.sim.kernel.Simulator.drain_until` — the same
+  boundary-stepping primitive the processor fast path is built on — and
+  snapshots between steps, adding no events to the queue.
 """
 
 from __future__ import annotations
@@ -65,9 +76,42 @@ class IntervalSampler:
         self._started = True
         self.system.sim.at(self.interval_fs, self._tick)
 
+    def drive(self):
+        """Run the attached system to completion, sampling between windows.
+
+        Pull-mode alternative to ``start()`` + ``system.run()``: drives
+        the event loop itself, one ``interval_fs`` window at a time, via
+        :meth:`~repro.sim.kernel.Simulator.drain_until`, and snapshots at
+        each boundary.  Unlike event mode the sampler adds no events of
+        its own, so ``stats["sim.events"]`` matches an unsampled run.
+        Returns the :class:`~repro.results.RunResult`.
+
+        Window semantics differ from event mode only at boundaries:
+        ``drain_until`` processes events scheduled *at* the boundary
+        before the snapshot, whereas the event-mode tick (scheduled
+        first) fires ahead of them.
+        """
+        if self._started:
+            raise RuntimeError("sampler already started")
+        self._started = True
+        return self.system.run(loop=self._loop)
+
+    def _loop(self, sim) -> None:
+        boundary = self.interval_fs
+        queue = sim.queue
+        while len(queue):
+            sim.drain_until(boundary)
+            self._snapshot(boundary)
+            boundary += self.interval_fs
+
     def _tick(self) -> None:
         system = self.system
-        now = system.sim.now
+        self._snapshot(system.sim.now)
+        if not all(p.done for p in system.processors):
+            system.sim.after(self.interval_fs, self._tick)
+
+    def _snapshot(self, time_fs: int) -> None:
+        system = self.system
         dram_bytes = system.hierarchy.uncore.dram.total_bytes
         useful_fs = sum(p.useful_fs for p in system.processors)
         window = self.interval_fs
@@ -77,14 +121,12 @@ class IntervalSampler:
         activity = ((useful_fs - self._last_useful_fs)
                     / window / len(system.processors))
         self.samples.append({
-            "time_fs": now,
+            "time_fs": time_fs,
             "dram_utilization": min(1.0, dram_util),
             "core_activity": min(1.0, activity),
         })
         self._last_dram_bytes = dram_bytes
         self._last_useful_fs = useful_fs
-        if not all(p.done for p in system.processors):
-            system.sim.after(self.interval_fs, self._tick)
 
     def series(self, key: str) -> list[float]:
         """One column of the samples, e.g. ``dram_utilization``."""

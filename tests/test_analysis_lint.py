@@ -101,6 +101,58 @@ class TestBareAssertRule:
         assert "InvariantViolation" in finding.message
 
 
+class TestFloatClockArithmeticRule:
+    def test_float_literal_into_fs_assignment_flagged(self):
+        assert rules_of("done_fs = now_fs + 1.5\n") == ["REPRO006"]
+
+    def test_true_division_into_fs_assignment_flagged(self):
+        assert rules_of("slack_fs = budget_fs / 2\n") == ["REPRO006"]
+
+    def test_augmented_float_literal_flagged(self):
+        src = "def f(now_fs):\n    now_fs += 0.5\n"
+        assert rules_of(src) == ["REPRO006"]
+
+    def test_augmented_true_division_flagged(self):
+        src = "def f(wait_cycles):\n    wait_cycles /= 2\n"
+        assert rules_of(src) == ["REPRO006"]
+
+    def test_attribute_target_flagged(self):
+        src = ("class C:\n"
+               "    def tick(self):\n"
+               "        self.ready_fs = self.ready_fs * 1.1\n")
+        assert rules_of(src) == ["REPRO006"]
+
+    def test_integer_arithmetic_allowed(self):
+        src = ("def f(now_fs, cycle_fs):\n"
+               "    done_fs = now_fs + 3 * cycle_fs\n"
+               "    half_fs = cycle_fs // 2\n"
+               "    return done_fs + half_fs\n")
+        assert rules_of(src) == []
+
+    def test_explicit_quantization_allowed(self):
+        # round()/int() (and the unit converters, e.g. ns_to_fs) return
+        # exact integers by contract; the rule does not look inside calls.
+        src = ("def f(ghz):\n"
+               "    cycle_fs = round(1_000_000 / ghz)\n"
+               "    latency_fs = ns_to_fs(1.5)\n"
+               "    return cycle_fs + latency_fs\n")
+        assert rules_of(src) == []
+
+    def test_float_domain_targets_exempt(self):
+        # _ns config fields and unsuffixed names are the float domain.
+        src = ("latency_ns = 70.0 / 2\n"
+               "ratio = busy_fs / 100\n")
+        assert rules_of(src) == []
+
+    def test_conditional_expression_taint_found(self):
+        src = "delay_fs = 1.0 if fast else 2\n"
+        assert rules_of(src) == ["REPRO006"]
+
+    def test_suppressible(self):
+        src = "skew_fs = base_fs / 2  # repro-lint: disable=REPRO006\n"
+        assert rules_of(src) == []
+
+
 class TestSuppression:
     def test_rule_specific_suppression(self):
         src = "assert True  # repro-lint: disable=REPRO005\n"

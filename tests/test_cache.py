@@ -120,6 +120,22 @@ class TestProperties:
             )
             assert resident == sorted(reference[set_index])
 
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 127)),
+                    min_size=1, max_size=300))
+    def test_occupancy_counter_matches_recount(self, ops):
+        """``occupancy()`` is an O(1) resident-line counter; it must track
+        inserts, evictions, and invalidations exactly at every step."""
+        c = small_cache(capacity=512, assoc=4)
+        for invalidate, line in ops:
+            if invalidate:
+                c.invalidate(line)
+            elif c.lookup(line) is None:
+                c.insert(line, MesiState.SHARED)
+            assert c.occupancy() == sum(len(s) for s in c._sets)
+        c.clear()
+        assert c.occupancy() == 0
+
     @settings(max_examples=30, deadline=None)
     @given(st.lists(st.integers(min_value=0, max_value=1023), min_size=50,
                     max_size=400))

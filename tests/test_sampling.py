@@ -89,3 +89,48 @@ class TestIntervalSampler:
         sampler.start()
         with pytest.raises(RuntimeError):
             sampler.start()
+
+
+def build_system(name="fir", cores=4, model="cc"):
+    cfg = MachineConfig(num_cores=cores).with_model(model)
+    program = get_workload(name).build(model, cfg, preset="tiny")
+    return CmpSystem(cfg, program)
+
+
+class TestPullModeSampler:
+    """drive(): the sampler steps the run itself via Simulator.drain_until."""
+
+    def test_drive_runs_to_completion_and_samples(self):
+        system = build_system()
+        sampler = IntervalSampler(system, interval_fs=ns_to_fs(20_000))
+        result = sampler.drive()
+        assert result.exec_time_fs > 0
+        assert len(sampler.samples) >= 2
+        for key in ("dram_utilization", "core_activity"):
+            for v in sampler.series(key):
+                assert 0.0 <= v <= 1.0
+
+    def test_drive_result_identical_to_unsampled_run(self):
+        """Pull mode adds no events, so the full result — including
+        ``stats['sim.events']``, which event-mode ticks perturb — matches
+        an unsampled run bit for bit."""
+        plain = build_system().run()
+        system = build_system()
+        sampler = IntervalSampler(system, interval_fs=ns_to_fs(20_000))
+        driven = sampler.drive()
+        assert driven.to_dict() == plain.to_dict()
+
+    def test_drive_sample_times_are_window_boundaries(self):
+        system = build_system()
+        interval = ns_to_fs(20_000)
+        sampler = IntervalSampler(system, interval_fs=interval)
+        sampler.drive()
+        for i, sample in enumerate(sampler.samples):
+            assert sample["time_fs"] == (i + 1) * interval
+
+    def test_drive_after_start_rejected(self):
+        system = build_system()
+        sampler = IntervalSampler(system, interval_fs=1000)
+        sampler.start()
+        with pytest.raises(RuntimeError):
+            sampler.drive()
