@@ -59,8 +59,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["default", "small", "tiny"])
     run_p.add_argument("--profile", action="store_true",
                        help="sample activity over time and print sparklines")
+    run_p.add_argument("--metrics", action="store_true",
+                       help="print the per-component metrics report "
+                            "(fastpath-safe; results are bit-identical)")
     run_p.add_argument("--trace", metavar="PATH",
                        help="record the demand-access trace as JSON lines")
+    run_p.add_argument("--trace-out", metavar="PATH",
+                       help="export a Chrome trace_event JSON "
+                            "(accesses, DMA commands, kernel spans)")
     run_p.add_argument("--cprofile", metavar="PATH", nargs="?", const="",
                        help="run under cProfile; print the hottest "
                             "functions, or dump binary pstats to PATH")
@@ -74,7 +80,8 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-store", action="store_true",
                        help="do not persist results on disk")
         p.add_argument("--progress-json", metavar="PATH",
-                       help="write sweep metrics as JSON")
+                       help="write sweep metrics as JSON ('-' streams one "
+                            "line per event to stdout)")
 
     for name, fn in EXPERIMENTS.items():
         exp_p = sub.add_parser(name, help=(fn.__doc__ or "").splitlines()[0])
@@ -117,6 +124,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "see 'python -m repro perf --help'")
     perf_p.add_argument("perf_args", nargs=argparse.REMAINDER,
                         help="arguments forwarded to repro.perf")
+
+    obs_p = sub.add_parser(
+        "obs",
+        help="metrics, time series, and Chrome trace export; "
+             "see 'python -m repro obs --help'")
+    obs_p.add_argument("obs_args", nargs=argparse.REMAINDER,
+                       help="arguments forwarded to repro.obs")
     return parser
 
 
@@ -172,12 +186,18 @@ def main(argv: list[str] | None = None) -> int:
         from repro.perf.__main__ import main as perf_main
 
         return perf_main(args.perf_args)
+    if args.command == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(args.obs_args)
     if args.command == "list":
         for name in workload_names():
             print(name)
         return 0
     if args.command == "run":
-        if args.profile or args.trace:
+        if args.profile or args.trace or args.metrics or args.trace_out:
+            from contextlib import ExitStack
+
             from repro import MachineConfig, get_workload
             from repro.core.system import CmpSystem
             from repro.sim.sampling import IntervalSampler
@@ -190,24 +210,50 @@ def main(argv: list[str] | None = None) -> int:
             program = get_workload(args.workload).build(
                 config.model, config, preset=args.preset)
             system = CmpSystem(config, program)
+            interval_fs = max(1, config.core.cycle_fs * 20000)
             sampler = None
-            if args.profile:
-                sampler = IntervalSampler(
-                    system, interval_fs=max(1, config.core.cycle_fs * 20000))
+            if args.profile or args.trace_out:
+                sampler = IntervalSampler(system, interval_fs=interval_fs)
                 sampler.start()
-            recorder = None
-            if args.trace:
-                from repro.trace import TraceRecorder
+            # Hooks attach through an ExitStack so a raising run cannot
+            # leak a trace_hook and pin later runs to the slow path.
+            with ExitStack() as stack:
+                recorder = None
+                if args.trace or args.trace_out:
+                    from repro.trace import TraceRecorder
 
-                recorder = TraceRecorder(system)
-            result = _run_profiled(args.cprofile, system.run)
+                    recorder = stack.enter_context(TraceRecorder(system))
+                kernel_rec = dma_rec = None
+                if args.trace_out:
+                    from repro.obs import (DmaCommandRecorder,
+                                           KernelEventRecorder)
+
+                    kernel_rec = stack.enter_context(
+                        KernelEventRecorder(system.sim))
+                    dma_rec = stack.enter_context(
+                        DmaCommandRecorder(system.hierarchy))
+                result = _run_profiled(args.cprofile, system.run)
             _print_run(result)
-            if sampler is not None:
+            if args.profile and sampler is not None:
                 print()
                 print(sampler.render())
-            if recorder is not None:
+            if args.metrics:
+                from repro.obs import render_report
+
+                print()
+                print(render_report(system, result))
+            if recorder is not None and args.trace:
                 recorder.save(args.trace)
                 print(f"\ntrace: {len(recorder)} accesses -> {args.trace}")
+            if args.trace_out:
+                from repro.obs import export_chrome_trace, save_chrome_trace
+
+                doc = export_chrome_trace(
+                    trace=recorder.records, dma_events=dma_rec.events,
+                    kernel_spans=kernel_rec.spans(), samples=sampler.samples)
+                save_chrome_trace(doc, args.trace_out)
+                print(f"\nchrome trace: {len(doc['traceEvents'])} event(s) "
+                      f"-> {args.trace_out}")
         else:
             result = _run_profiled(args.cprofile, lambda: run_workload(
                 args.workload, model=args.model, cores=args.cores,

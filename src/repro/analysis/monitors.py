@@ -159,7 +159,15 @@ class EventQueueMonitor:
             self.last_fs = time_fs
             return time_fs, callback
 
+        self._original_pop = original_pop
+        self._checked_pop = checked_pop
         queue.pop = checked_pop  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        """Unwrap the queue's ``pop`` (only while ours is still on top)."""
+        queue = self.sim.queue
+        if queue.pop is self._checked_pop:
+            queue.pop = self._original_pop  # type: ignore[method-assign]
 
 
 class MonitorSet:
@@ -167,9 +175,28 @@ class MonitorSet:
 
     def __init__(self) -> None:
         self.monitors: list = []
+        self._detachers: list = []
 
-    def add(self, monitor) -> None:
+    def add(self, monitor, detach=None) -> None:
+        """Track ``monitor``; ``detach`` optionally undoes its attachment."""
         self.monitors.append(monitor)
+        if detach is not None:
+            self._detachers.append(detach)
+
+    def detach(self) -> None:
+        """Remove every monitor from its hook point (idempotent).
+
+        The symmetric half of :func:`attach_monitors`: hierarchy
+        observers are unregistered (restoring
+        ``hierarchy.fastpath_safe``), DMA and local-store observers are
+        cleared, and the event queue's wrapped ``pop`` is unwound.
+        Without this, a monitor set detached between runs would leave
+        ``hierarchy._observers`` populated and permanently pin the
+        system to the slow path.
+        """
+        for undo in self._detachers:
+            undo()
+        self._detachers = []
 
     @property
     def total_checks(self) -> int:
@@ -196,16 +223,30 @@ def attach_monitors(system) -> MonitorSet:
     if not isinstance(hierarchy, IncoherentCacheHierarchy):
         coherence = CoherenceMonitor()
         hierarchy.register_observer(coherence)
-        monitors.add(coherence)
+        monitors.add(coherence,
+                     detach=lambda: hierarchy.unregister_observer(coherence))
     if isinstance(hierarchy, StreamingHierarchy):
         dma_monitor = DmaRaceMonitor(hierarchy)
         for engine in hierarchy.dma_engines:
             engine.observer = dma_monitor
-        monitors.add(dma_monitor)
+
+        def _clear_dma_observers():
+            for engine in hierarchy.dma_engines:
+                if engine.observer is dma_monitor:
+                    engine.observer = None
+
+        monitors.add(dma_monitor, detach=_clear_dma_observers)
         ls_monitor = LocalStoreMonitor(
             system.config.stream.local_store_bytes)
         for store in hierarchy.local_stores:
             store.observer = ls_monitor
-        monitors.add(ls_monitor)
-    monitors.add(EventQueueMonitor(system.sim))
+
+        def _clear_ls_observers():
+            for store in hierarchy.local_stores:
+                if store.observer is ls_monitor:
+                    store.observer = None
+
+        monitors.add(ls_monitor, detach=_clear_ls_observers)
+    queue_monitor = EventQueueMonitor(system.sim)
+    monitors.add(queue_monitor, detach=queue_monitor.detach)
     return monitors

@@ -67,14 +67,22 @@ def run_experiments(names: list[str], preset: str = "default",
                     timeout_s: float | None = None, retries: int = 1,
                     retry_failed: bool = False,
                     progress_json: str | None = None,
+                    series_interval_fs: int | None = None,
                     render=None) -> int:
     """Regenerate experiments with optional parallelism and persistence.
 
     ``render(name, experiment_result)`` is called for each completed
-    experiment (default: print the text table to stdout).  Returns the
-    process exit code: 0 when every needed run settled with a result, 1
-    when any degraded to a recorded FailedRun (the sweep itself always
-    completes).
+    experiment (default: print the text table to stdout).
+    ``progress_json`` may be a path (one summary document written at the
+    end) or ``"-"`` (one JSON line per sweep event streamed to stdout,
+    flushed per line).  ``series_interval_fs`` additionally samples a
+    metric time series inside every executed run and stores it beside
+    the result record (0 means a per-config automatic interval).
+
+    Returns the process exit code: 0 when everything settled in band, 1
+    when any run degraded to a recorded FailedRun, and 2 when every run
+    settled but a scorecard claim left its acceptance band (so CI fails
+    on a quietly-broken reproduction, not just on crashes).
     """
     from repro.harness import EXPERIMENTS
     from repro.harness.runner import Runner
@@ -87,13 +95,16 @@ def run_experiments(names: list[str], preset: str = "default",
     names = _experiment_names(names)
     fns = [EXPERIMENTS[name] for name in names]
     jobs = max(1, jobs)
-    progress = Progress(jobs=jobs)
+    stream_events = progress_json == "-"
+    progress = Progress(jobs=jobs,
+                        jsonl=sys.stdout if stream_events else None)
     failures: dict[str, object] = {}
+    results: list = []
 
-    if jobs == 1:
+    if jobs == 1 and series_interval_fs is None:
         cache = StoreCache(store) if store is not None else MemoryCache()
         runner = Runner(preset=preset, cache=cache)
-        rendered = _replay(names, fns, runner, failures, render)
+        rendered = _replay(names, fns, runner, failures, render, results)
         progress.total = cache.hits + cache.misses  # post-hoc accounting
         progress.cache_hits = getattr(cache, "store_hits", 0)
         progress.runs_launched = runner.runs
@@ -104,14 +115,19 @@ def run_experiments(names: list[str], preset: str = "default",
         scheduler = GridScheduler(jobs=jobs, store=store,
                                   timeout_s=timeout_s, retries=retries,
                                   retry_failed=retry_failed,
-                                  progress=progress)
+                                  progress=progress,
+                                  series_interval_fs=series_interval_fs)
         outcomes = list(scheduler.map(specs))
         for outcome in outcomes:
             if outcome.status == "failed":
                 failures[outcome.key] = outcome.failure
         runner = Runner(preset=preset, cache=replay_cache(outcomes))
-        rendered = _replay(names, fns, runner, failures, render)
+        rendered = _replay(names, fns, runner, failures, render, results)
 
+    out_of_band = [
+        row for result in results for row in result.rows
+        if row.get("ok") is False
+    ]
     if failures:
         print(f"\n{len(failures)} run(s) failed "
               f"({len(names) - rendered} experiment(s) incomplete):",
@@ -119,7 +135,18 @@ def run_experiments(names: list[str], preset: str = "default",
         for failure in failures.values():
             print(f"  - {failure.label}: {failure.kind}: {failure.message}",
                   file=sys.stderr)
-    if progress_json:
+    if out_of_band:
+        print(f"\n{len(out_of_band)} claim(s) out of band:", file=sys.stderr)
+        for row in out_of_band:
+            print(f"  - {row.get('claim', '?')}: measured "
+                  f"{row.get('measured')} outside {row.get('band')}",
+                  file=sys.stderr)
+    if stream_events:
+        payload = progress.as_dict()
+        payload["experiments"] = names
+        payload["preset"] = preset
+        progress.emit_jsonl("summary", **payload)
+    elif progress_json:
         payload = progress.as_dict()
         payload["experiments"] = names
         payload["preset"] = preset
@@ -127,10 +154,12 @@ def run_experiments(names: list[str], preset: str = "default",
         with open(progress_json, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
-    return 1 if failures else 0
+    if failures:
+        return 1
+    return 2 if out_of_band else 0
 
 
-def _replay(names, fns, runner, failures, render) -> int:
+def _replay(names, fns, runner, failures, render, results=None) -> int:
     """Render each experiment from the runner; collect clean failures."""
     rendered = 0
     for name, fn in zip(names, fns):
@@ -140,17 +169,26 @@ def _replay(names, fns, runner, failures, render) -> int:
             failures[error.failure.key] = error.failure
             print(f"{name}: incomplete — {error}", file=sys.stderr)
             continue
+        if results is not None:
+            results.append(result)
         render(name, result)
         rendered += 1
     return rendered
 
 
 def _cmd_sweep(args) -> int:
+    from repro.units import ns_to_fs
+
     store = resolve_store(args.store, args.no_store)
+    series_interval_fs = None
+    if args.series:
+        series_interval_fs = ns_to_fs(args.series_interval_ns) \
+            if args.series_interval_ns else 0
     return run_experiments(
         args.experiments, preset=args.preset, jobs=args.jobs, store=store,
         timeout_s=args.timeout, retries=args.retries,
-        retry_failed=args.retry_failed, progress_json=args.progress_json)
+        retry_failed=args.retry_failed, progress_json=args.progress_json,
+        series_interval_fs=series_interval_fs)
 
 
 def _cmd_plan(args) -> int:
@@ -215,7 +253,15 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--retry-failed", action="store_true",
                        help="re-run keys whose stored record is a failure")
     sweep.add_argument("--progress-json", metavar="PATH",
-                       help="write the sweep metrics as JSON")
+                       help="write the sweep metrics as JSON "
+                            "('-' streams one line per event to stdout)")
+    sweep.add_argument("--series", action="store_true",
+                       help="sample a metric time series inside every "
+                            "executed run and store it beside the result")
+    sweep.add_argument("--series-interval-ns", type=int, default=0,
+                       metavar="NS",
+                       help="series sampling window in simulated ns "
+                            "(default: 20k core cycles per config)")
 
     plan_p = sub.add_parser(
         "plan", help="print the deduplicated run set of experiments")

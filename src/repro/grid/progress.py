@@ -17,10 +17,13 @@ import time
 class Progress:
     """Counters and timings for one sweep, renderable live and as JSON."""
 
-    def __init__(self, total: int = 0, jobs: int = 1, stream=None) -> None:
+    def __init__(self, total: int = 0, jobs: int = 1, stream=None,
+                 jsonl=None) -> None:
         self.total = total
         self.jobs = jobs
         self.stream = sys.stderr if stream is None else stream
+        #: Optional text stream receiving one JSON line per event.
+        self.jsonl = jsonl
         self.cache_hits = 0
         self.runs_launched = 0
         self.completed = 0
@@ -37,16 +40,19 @@ class Progress:
         self.cache_hits += 1
         self.completed += 1
         self.emit()
+        self.emit_jsonl("cache_hit")
 
     def on_launch(self) -> None:
         """A miss was handed to a worker."""
         self.runs_launched += 1
         self.emit()
+        self.emit_jsonl("launch")
 
     def on_retry(self) -> None:
         """A failed attempt is being resubmitted."""
         self.retries += 1
         self.emit()
+        self.emit_jsonl("retry")
 
     def on_done(self, wall_s: float | None = None,
                 failed: bool = False) -> None:
@@ -57,6 +63,7 @@ class Progress:
         if wall_s is not None:
             self.run_wall_s.append(wall_s)
         self.emit()
+        self.emit_jsonl("done")
 
     # -- derived metrics -------------------------------------------------
 
@@ -124,6 +131,28 @@ class Progress:
         if self._live:
             print(f"\r\x1b[2K{self.render()}", end="",
                   file=self.stream, flush=True)
+
+    def emit_jsonl(self, event: str, **extra) -> None:
+        """Write one progress event as a JSON line (when streaming).
+
+        Each line is flushed immediately: the consumer is typically a
+        pipe (``--progress-json -``), and block buffering would hold
+        every event back until process exit, defeating live monitoring.
+        """
+        if self.jsonl is None:
+            return
+        payload = {
+            "event": event,
+            "completed": self.completed,
+            "total": self.total,
+            "cache_hits": self.cache_hits,
+            "runs_launched": self.runs_launched,
+            "failed": self.failed,
+            "retries": self.retries,
+        }
+        payload.update(extra)
+        self.jsonl.write(json.dumps(payload, sort_keys=True) + "\n")
+        self.jsonl.flush()
 
     def close(self) -> None:
         """Finish the live line with a newline (TTY only)."""

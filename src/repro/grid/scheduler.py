@@ -56,11 +56,13 @@ def _alarm(_signum, _frame):
     raise _RunTimeout()
 
 
-def _execute_in_worker(spec: RunSpec, timeout_s: float | None) -> dict:
+def _execute_in_worker(spec: RunSpec, timeout_s: float | None,
+                       series_interval_fs: int | None = None) -> dict:
     """Worker entry point: run one spec, never raise.
 
     Returns a payload dict: ``{"ok": True, "result": ..., "wall_s": ...}``
-    or ``{"ok": False, "kind": "exception"|"timeout", "message": ...}``.
+    (plus ``"series"`` when series sampling was requested) or
+    ``{"ok": False, "kind": "exception"|"timeout", "message": ...}``.
     The per-run timeout is enforced with ``SIGITIMER`` inside the worker
     so a runaway simulation cannot wedge its pool slot forever.
     """
@@ -76,12 +78,16 @@ def _execute_in_worker(spec: RunSpec, timeout_s: float | None) -> dict:
     if use_alarm:
         previous = signal.signal(signal.SIGALRM, _alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    series = None
     try:
         if hooks["_grid_sleep_s"]:
             time.sleep(float(hooks["_grid_sleep_s"]))
         if hooks["_grid_raise"]:
             raise RuntimeError(str(hooks["_grid_raise"]))
-        result = spec.execute()
+        if series_interval_fs is not None:
+            result, series = spec.execute_with_series(series_interval_fs)
+        else:
+            result = spec.execute()
     except _RunTimeout:
         return {"ok": False, "kind": "timeout",
                 "message": f"exceeded the per-run timeout of {timeout_s} s",
@@ -95,8 +101,11 @@ def _execute_in_worker(spec: RunSpec, timeout_s: float | None) -> dict:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, previous)
-    return {"ok": True, "result": result.to_dict(),
-            "wall_s": time.perf_counter() - start}  # repro-lint: disable=REPRO001
+    payload = {"ok": True, "result": result.to_dict(),
+               "wall_s": time.perf_counter() - start}  # repro-lint: disable=REPRO001
+    if series is not None:
+        payload["series"] = series
+    return payload
 
 
 @dataclass
@@ -120,13 +129,17 @@ class GridScheduler:
                  timeout_s: float | None = None,
                  retries: int = 1,
                  retry_failed: bool = False,
-                 progress: Progress | None = None) -> None:
+                 progress: Progress | None = None,
+                 series_interval_fs: int | None = None) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.store = store
         self.timeout_s = timeout_s
         self.retries = max(0, retries)
         self.retry_failed = retry_failed
         self.progress = progress
+        #: When not None, every executed run also samples a metric time
+        #: series (0 = automatic window) stored beside its result record.
+        self.series_interval_fs = series_interval_fs
 
     def map(self, specs):
         """Yield a :class:`RunOutcome` per unique spec, as each settles."""
@@ -161,7 +174,8 @@ class GridScheduler:
             for key, spec in pending:
                 attempts[key] += 1
                 futures[executor.submit(
-                    _execute_in_worker, spec, self.timeout_s)] = (key, spec)
+                    _execute_in_worker, spec, self.timeout_s,
+                    self.series_interval_fs)] = (key, spec)
                 progress.on_launch()
             while futures:
                 done, _ = wait(futures, return_when=FIRST_COMPLETED)
@@ -202,6 +216,8 @@ class GridScheduler:
             wall_s = payload.get("wall_s")
             if self.store is not None:
                 self.store.put(spec, result, wall_s=wall_s)
+                if payload.get("series") is not None:
+                    self.store.put_series(key, payload["series"])
             progress.on_done(wall_s=wall_s)
             return RunOutcome(spec, key, "ok", "run", result=result,
                               wall_s=wall_s)
@@ -209,7 +225,8 @@ class GridScheduler:
             attempts[key] += 1
             progress.on_retry()
             futures[executor.submit(
-                _execute_in_worker, spec, self.timeout_s)] = (key, spec)
+                _execute_in_worker, spec, self.timeout_s,
+                self.series_interval_fs)] = (key, spec)
             return None
         failure = FailedRun(key=key, label=spec.label(),
                             kind=payload["kind"],
@@ -228,7 +245,8 @@ class GridScheduler:
         progress.on_retry()
         isolated = ProcessPoolExecutor(max_workers=1)
         try:
-            future = isolated.submit(_execute_in_worker, spec, self.timeout_s)
+            future = isolated.submit(_execute_in_worker, spec, self.timeout_s,
+                                     self.series_interval_fs)
             try:
                 payload = future.result()
             except BrokenProcessPool:
@@ -245,6 +263,8 @@ class GridScheduler:
             wall_s = payload.get("wall_s")
             if self.store is not None:
                 self.store.put(spec, result, wall_s=wall_s)
+                if payload.get("series") is not None:
+                    self.store.put_series(key, payload["series"])
             progress.on_done(wall_s=wall_s)
             return RunOutcome(spec, key, "ok", "run", result=result,
                               wall_s=wall_s)

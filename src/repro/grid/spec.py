@@ -63,6 +63,32 @@ class RunSpec:
             overrides=self.overrides)
         return run_program(config, program)
 
+    def execute_with_series(self, interval_fs: int = 0):
+        """Like :meth:`execute`, but also sample a metric time series.
+
+        Returns ``(result, series_dict)``.  The sampling is pull-mode
+        (:class:`repro.obs.sampler.MetricsSampler`), which attaches no
+        hooks and adds no events, so ``result`` — including
+        ``stats["sim.events"]`` — is bit-identical to :meth:`execute`
+        and safe to store under the same content key.  ``interval_fs=0``
+        picks an automatic window of 20k core cycles.
+        """
+        from repro.config import MemoryModel
+        from repro.core.system import CmpSystem
+        from repro.obs.sampler import MetricsSampler
+        from repro.workloads import get_workload
+
+        config = self.to_config()
+        program = get_workload(self.workload).build(
+            MemoryModel.parse(self.model), config, preset=self.preset,
+            overrides=self.overrides)
+        system = CmpSystem(config, program)
+        if interval_fs <= 0:
+            interval_fs = max(1, config.core.cycle_fs * 20_000)
+        sampler = MetricsSampler(system, interval_fs)
+        result = sampler.drive()
+        return result, sampler.to_dict()
+
     def memo_key(self) -> tuple:
         """Cheap hashable key for in-process memo dictionaries."""
         return (self.workload, self.model, self.cores, self.clock_ghz,

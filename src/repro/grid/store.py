@@ -159,6 +159,46 @@ class ResultStore:
         self.put_record(record)
         return key
 
+    # -- series sidecars -------------------------------------------------
+
+    def _series_path(self, key: str) -> Path:
+        return self._objects / key[:2] / f"{key}.series.json"
+
+    def put_series(self, key: str, series: dict) -> None:
+        """Atomically write a time-series sidecar beside a result record.
+
+        Series are pull-mode samples of the *same* run that produced the
+        result (bit-identical either way), so they share the result's
+        content key; the distinct suffix keeps :meth:`records` and
+        :meth:`clear` semantics untouched.
+        """
+        path = self._series_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(series, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get_series(self, key: str) -> dict | None:
+        """The stored series sidecar for ``key``, or None."""
+        try:
+            text = self._series_path(key).read_text()
+        except OSError:
+            return None
+        try:
+            series = json.loads(text)
+        except ValueError:
+            return None
+        return series if isinstance(series, dict) else None
+
     # -- maintenance ----------------------------------------------------
 
     def records(self):
@@ -166,6 +206,8 @@ class ResultStore:
         if not self._objects.is_dir():
             return
         for path in sorted(self._objects.glob("*/*.json")):
+            if path.name.endswith(".series.json"):
+                continue
             record = self.get_record(path.stem)
             if record is not None:
                 yield record
@@ -190,6 +232,13 @@ class ResultStore:
         for path in sorted(self._objects.glob("*/*")):
             if path.suffix == ".corrupt" and not failed_only:
                 path.unlink(missing_ok=True)
+                continue
+            if path.name.endswith(".series.json"):
+                # Series sidecars ride along with their record: a full
+                # clear drops them (uncounted), a failed-only clear
+                # keeps them (their record is an ok record).
+                if not failed_only:
+                    path.unlink(missing_ok=True)
                 continue
             if path.suffix != ".json":
                 continue

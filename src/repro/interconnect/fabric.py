@@ -70,6 +70,10 @@ class ClusterBus:
         """Bytes carried on both directions (for energy accounting)."""
         return self.req.bytes_moved + self.resp.bytes_moved
 
+    def links(self) -> tuple[_Link, _Link]:
+        """Both directions, for metric enumeration (req first)."""
+        return (self.req, self.resp)
+
 
 class CrossbarPort(_Link):
     """One direction of a cluster's (or L2 bank's) crossbar port (16 bytes)."""
@@ -102,3 +106,7 @@ class Crossbar:
     def bytes_moved(self) -> int:
         """Bytes carried on every port (for energy accounting)."""
         return sum(p.bytes_moved for p in self.up) + sum(p.bytes_moved for p in self.down)
+
+    def links(self) -> tuple[CrossbarPort, ...]:
+        """Every port (all up, then all down), for metric enumeration."""
+        return tuple(self.up) + tuple(self.down)

@@ -46,6 +46,14 @@ class DmaEngine:
         #: as ``observer(kind, engine, addr, nbytes, stride, block,
         #: now_fs)`` with kind "get"/"put" before each command executes.
         self.observer = None
+        #: Optional command tracer (repro.obs), called as
+        #: ``trace_hook(kind, core, issue_fs, start_fs, done_fs, addr,
+        #: nbytes)`` *after* each command's timing is resolved.  Purely
+        #: observational, and — unlike the hierarchy's per-access
+        #: ``trace_hook`` — fastpath-compatible: DMA commands always
+        #: execute through the engine, never through the processor's
+        #: inline-hit path, so attaching this changes nothing.
+        self.trace_hook = None
 
     def _blocks(self, addr: int, nbytes: int, stride: int,
                 block: int | None) -> Iterable[tuple[int, int]]:
@@ -101,6 +109,9 @@ class DmaEngine:
                 self._window.append(t)
                 done = max(done, t)
         self._engine_free = done
+        if self.trace_hook is not None:
+            self.trace_hook("get", self.core_id, now_fs, start, done,
+                            addr, nbytes)
         return done
 
     def put(self, now_fs: int, addr: int, nbytes: int,
@@ -134,6 +145,9 @@ class DmaEngine:
                 self._window.append(t)
                 done = max(done, t)
         self._engine_free = done
+        if self.trace_hook is not None:
+            self.trace_hook("put", self.core_id, now_fs, start, done,
+                            addr, nbytes)
         return done
 
     def drain_time(self, now_fs: int) -> int:

@@ -128,3 +128,12 @@ class DramChannel:
         """Mean utilization across channels."""
         utils = [ch.utilization(total_fs) for ch in self._channels]
         return sum(utils) / len(utils)
+
+    def channels(self):
+        """The per-channel throughput resources, in interleave order.
+
+        Exposed for the observability layer (per-channel bandwidth and
+        queueing metrics); mutating the returned resources is not part
+        of the contract.
+        """
+        return tuple(self._channels)

@@ -286,6 +286,20 @@ class CacheCoherentHierarchy:
         """
         self._observers.append(observer)
 
+    def unregister_observer(self, observer) -> None:
+        """Detach an observer registered with :meth:`register_observer`.
+
+        The symmetric removal: once the last observer (and any trace
+        hook) is gone, :attr:`fastpath_safe` becomes true again, so a
+        monitor detached between runs no longer pins every later run on
+        the same system to the slow path.  Idempotent — removing an
+        observer that is not (or no longer) attached is a no-op.
+        """
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
     def line_states(self, line: int) -> tuple[MesiState, ...]:
         """The MESI state of ``line`` in every L1 (INVALID when absent)."""
         return tuple(

@@ -1,0 +1,30 @@
+"""repro.obs — fastpath-compatible observability.
+
+Three layers over one principle (*pull at scheduling boundaries, never
+hook the hot path unless the user asked for a trace*):
+
+* :mod:`repro.obs.metrics` — a registry of counters/gauges that reads
+  existing component state; attaching it keeps
+  ``hierarchy.fastpath_safe`` true and results bit-identical.
+* :mod:`repro.obs.sampler` — per-interval metric series via the
+  interval sampler's pull mode (no events added, ``sim.events``
+  unchanged).
+* :mod:`repro.obs.chrometrace` — Chrome ``trace_event`` export of
+  access traces, DMA commands, kernel dispatch spans, and counter
+  series, loadable in Perfetto.
+
+CLI: ``python -m repro obs report|series|export|validate``.
+"""
+
+from repro.obs.chrometrace import (DmaCommandRecorder, KernelEventRecorder,
+                                   export_chrome_trace, save_chrome_trace,
+                                   validate_chrome_trace)
+from repro.obs.metrics import COUNTER, GAUGE, Metric, MetricsRegistry
+from repro.obs.report import render_report
+from repro.obs.sampler import MetricsSampler
+
+__all__ = [
+    "COUNTER", "GAUGE", "Metric", "MetricsRegistry", "MetricsSampler",
+    "KernelEventRecorder", "DmaCommandRecorder", "export_chrome_trace",
+    "save_chrome_trace", "validate_chrome_trace", "render_report",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` — alias for ``python -m repro obs``."""
+
+import sys
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

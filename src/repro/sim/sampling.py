@@ -57,13 +57,28 @@ def sparkline(values: list[float], peak: float | None = None) -> str:
 
 
 class IntervalSampler:
-    """Snapshots a running system's counters every ``interval_fs``."""
+    """Snapshots a running system's counters every ``interval_fs``.
 
-    def __init__(self, system: "CmpSystem", interval_fs: int) -> None:
+    ``probes`` optionally extends every sample with extra columns: a
+    mapping of column name to zero-argument callable, evaluated at each
+    window boundary.  Probes run at scheduling boundaries only — the
+    same points where the processor fast path folds its batched stats —
+    so they observe a consistent system state without attaching any
+    per-access hook (``hierarchy.fastpath_safe`` stays true).
+    """
+
+    def __init__(self, system: "CmpSystem", interval_fs: int,
+                 probes: dict | None = None) -> None:
         if interval_fs <= 0:
             raise ValueError(f"interval must be positive, got {interval_fs}")
         self.system = system
         self.interval_fs = interval_fs
+        self.probes = dict(probes) if probes else {}
+        reserved = {"time_fs", "dram_utilization", "core_activity"}
+        clashes = reserved & set(self.probes)
+        if clashes:
+            raise ValueError(f"probe names clash with built-in sample "
+                             f"columns: {sorted(clashes)}")
         self.samples: list[dict] = []
         self._last_dram_bytes = 0
         self._last_useful_fs = 0
@@ -120,11 +135,14 @@ class IntervalSampler:
                      / window / system.hierarchy.uncore.dram.config.channels)
         activity = ((useful_fs - self._last_useful_fs)
                     / window / len(system.processors))
-        self.samples.append({
+        sample = {
             "time_fs": time_fs,
             "dram_utilization": min(1.0, dram_util),
             "core_activity": min(1.0, activity),
-        })
+        }
+        for name, probe in self.probes.items():
+            sample[name] = probe()
+        self.samples.append(sample)
         self._last_dram_bytes = dram_bytes
         self._last_useful_fs = useful_fs
 

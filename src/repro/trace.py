@@ -43,7 +43,19 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Captures every demand access of a system run."""
+    """Captures every demand access of a system run.
+
+    Attaching a recorder installs the hierarchy's per-access
+    ``trace_hook``, which disables the run-until-miss fast path for as
+    long as it is attached (``hierarchy.fastpath_safe``).  Use the
+    recorder as a context manager so the hook is removed even when the
+    run raises — a leaked hook would silently pin every later run on
+    the same system to the slow path::
+
+        with TraceRecorder(system) as recorder:
+            result = system.run()
+        recorder.save("trace.jsonl")
+    """
 
     def __init__(self, system: "CmpSystem") -> None:
         self.system = system
@@ -57,8 +69,20 @@ class TraceRecorder:
         self.records.append(TraceRecord(time_fs, core, kind, line, latency_fs))
 
     def detach(self) -> None:
-        """Stop recording (removes the hierarchy hook)."""
-        self.system.hierarchy.trace_hook = None
+        """Stop recording (removes the hierarchy hook).
+
+        Idempotent, and careful not to evict a *different* recorder: the
+        hook is cleared only while it is still this recorder's own, so
+        ``detach()`` after a re-attach elsewhere is a no-op.
+        """
+        if self.system.hierarchy.trace_hook == self._record:
+            self.system.hierarchy.trace_hook = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()
 
     def __len__(self) -> int:
         return len(self.records)

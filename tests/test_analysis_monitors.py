@@ -229,3 +229,55 @@ class TestSystemIntegration:
         assert monitors.total_checks == 0
         system.run()
         assert monitors.total_checks > 0
+
+    def _armed_system(self, model="cc"):
+        config = MachineConfig(num_cores=2).with_model(model)
+        program = get_workload("fir").build(config.model, config,
+                                            preset="tiny")
+        return CmpSystem(config, program)
+
+    def test_detach_restores_fastpath(self):
+        system = self._armed_system()
+        assert system.hierarchy.fastpath_safe
+        monitors = attach_monitors(system)
+        assert not system.hierarchy.fastpath_safe
+        monitors.detach()
+        assert system.hierarchy.fastpath_safe
+        monitors.detach()                    # idempotent
+
+    def test_detach_unwinds_streaming_observers_too(self):
+        system = self._armed_system(model="str")
+        monitors = attach_monitors(system)
+        assert any(e.observer is not None
+                   for e in system.hierarchy.dma_engines)
+        monitors.detach()
+        assert all(e.observer is None
+                   for e in system.hierarchy.dma_engines)
+        assert all(s.observer is None
+                   for s in system.hierarchy.local_stores)
+
+    def test_detach_unwraps_the_event_queue(self):
+        system = self._armed_system()
+        # Bound-method equality (not identity): attribute access mints a
+        # fresh bound method each time.
+        bare_pop = system.sim.queue.pop
+        monitors = attach_monitors(system)
+        assert system.sim.queue.pop != bare_pop
+        monitors.detach()
+        assert system.sim.queue.pop == bare_pop
+
+    def test_detached_monitors_stop_checking(self):
+        system = self._armed_system()
+        monitors = attach_monitors(system)
+        monitors.detach()
+        system.run()
+        assert monitors.total_checks == 0
+
+    def test_detach_keeps_other_observers(self):
+        # Detaching one set never evicts an observer it did not attach.
+        system = self._armed_system()
+        monitors = attach_monitors(system)
+        other = lambda *args: None  # noqa: E731
+        system.hierarchy.register_observer(other)
+        monitors.detach()
+        assert system.hierarchy._observers == [other]

@@ -148,3 +148,48 @@ def test_compare_skips_incoherent_for_sharing_apps(capsys):
     assert main(["compare", "h264", "--cores", "4", "--preset", "tiny"]) == 0
     out = capsys.readouterr().out
     assert "icc" not in out
+
+
+def test_progress_json_stream_flushes_per_event(tmp_path):
+    """``--progress-json -`` must emit events live, not at process exit.
+
+    Runs a real sweep as a subprocess with stdout connected to a pipe
+    (so stdio would be block-buffered without the explicit per-line
+    flush) and requires the first event line to arrive while the sweep
+    is still running.
+    """
+    import json
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_STORE"] = str(tmp_path / "store")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "grid", "sweep", "figure3",
+         "--preset", "tiny", "--jobs", "2", "--progress-json", "-"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        env=env)
+    try:
+        first = json.loads(proc.stdout.readline())
+        running = proc.poll() is None
+        rest, _ = proc.communicate(timeout=600)
+    finally:
+        proc.kill()
+    assert first["event"] in ("launch", "cache_hit")
+    assert running, "first event arrived only after the sweep finished"
+    # The stream interleaves event lines with the rendered tables;
+    # every JSON line is an event, and the stream ends with a summary.
+    events = []
+    for line in rest.splitlines():
+        try:
+            events.append(json.loads(line))
+        except ValueError:
+            continue
+    assert events[-1]["event"] == "summary"
+    assert events[-1]["completed"] == events[-1]["total"] > 0
+    assert any(e["event"] == "done" for e in events)
+    assert proc.returncode == 0

@@ -97,6 +97,39 @@ class TestFaultTolerance:
         assert outcomes[0].wall_s < 5
 
 
+class TestSeriesSweeps:
+    def test_series_stored_beside_bit_identical_result(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = specs_for(2)[0]
+        scheduler = GridScheduler(jobs=1, store=store, series_interval_fs=0)
+        outcome = list(scheduler.map([spec]))[0]
+        assert outcome.status == "ok"
+        series = store.get_series(outcome.key)
+        assert series is not None
+        assert series["samples"]
+        assert "l1.load_ops" in series["kinds"]
+        # Pull-mode sampling leaves the result bit-identical — including
+        # stats["sim.events"] — which is what justifies sharing the key.
+        assert outcome.result.to_dict() == spec.execute().to_dict()
+
+    def test_cache_hit_preserves_existing_series(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = specs_for(2)[0]
+        first = GridScheduler(jobs=1, store=store, series_interval_fs=0)
+        key = list(first.map([spec]))[0].key
+        stamp = store._series_path(key).stat().st_mtime_ns
+        again = GridScheduler(jobs=1, store=store, series_interval_fs=0)
+        outcome = list(again.map([spec]))[0]
+        assert outcome.source == "store"
+        assert store._series_path(key).stat().st_mtime_ns == stamp
+
+    def test_without_series_no_sidecar_is_written(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = specs_for(2)[0]
+        outcome = list(GridScheduler(jobs=1, store=store).map([spec]))[0]
+        assert store.get_series(outcome.key) is None
+
+
 class TestPlanning:
     def test_plan_captures_figure_run_set_without_simulating(self):
         cache = PlanCache()

@@ -89,6 +89,53 @@ class TestResultStore:
         assert store.stats()["records"] == 0
 
 
+class TestSeriesSidecars:
+    SERIES = {"interval_fs": 1000, "kinds": {"x": "counter"},
+              "units": {"x": "ops"}, "samples": [{"time_fs": 1000, "x": 3}]}
+
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        assert store.get_series(key) is None
+        store.put_series(key, self.SERIES)
+        assert store.get_series(key) == self.SERIES
+
+    def test_sidecars_invisible_to_records_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        store.put_series(key, self.SERIES)
+        assert len(list(store.records())) == 1
+        assert store.stats()["records"] == 1
+        # Iterating records must not quarantine the sidecar.
+        assert store.get_series(key) == self.SERIES
+
+    def test_full_clear_drops_sidecars_uncounted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        store.put_series(key, self.SERIES)
+        assert store.clear() == 1            # the record, not the sidecar
+        assert store.get_series(key) is None
+
+    def test_failed_only_clear_keeps_sidecars(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        store.put_series(key, self.SERIES)
+        other = RunSpec("merge", cores=2, preset="tiny")
+        store.put(other, FailedRun(key=other.content_key(),
+                                   label=other.label(), kind="exception",
+                                   message="boom"))
+        assert store.clear(failed_only=True) == 1
+        assert store.get_series(key) == self.SERIES
+        assert store.get(SPEC) is not None
+
+    def test_corrupt_sidecar_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        store.put_series(key, self.SERIES)
+        store._series_path(key).write_text("{truncated")
+        assert store.get_series(key) is None
+
+
 class TestCaches:
     def test_memory_cache_counts(self):
         cache = MemoryCache()

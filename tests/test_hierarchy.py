@@ -243,3 +243,44 @@ class TestWaitAccounting:
         assert "dram.wait_fs" in r.stats
         assert "bus.wait_fs" in r.stats
         assert r.stats["dram.wait_fs"] >= 0
+
+
+class TestObserverRoundTrip:
+    """register/unregister must round-trip ``fastpath_safe``."""
+
+    def test_unregister_restores_fastpath(self):
+        h = hierarchy()
+        observer = lambda *args: None  # noqa: E731
+        assert h.fastpath_safe
+        h.register_observer(observer)
+        assert not h.fastpath_safe
+        h.unregister_observer(observer)
+        assert h.fastpath_safe
+
+    def test_unregister_is_idempotent(self):
+        h = hierarchy()
+        observer = lambda *args: None  # noqa: E731
+        h.register_observer(observer)
+        h.unregister_observer(observer)
+        h.unregister_observer(observer)      # a no-op, not an error
+        h.unregister_observer(lambda *args: None)   # never attached: no-op
+        assert h.fastpath_safe
+
+    def test_unregister_removes_only_the_given_observer(self):
+        h = hierarchy()
+        keep = lambda *args: None    # noqa: E731
+        drop = lambda *args: None    # noqa: E731
+        h.register_observer(keep)
+        h.register_observer(drop)
+        h.unregister_observer(drop)
+        assert h._observers == [keep]
+        assert not h.fastpath_safe
+
+    def test_unregistered_observer_stops_firing(self):
+        h = hierarchy()
+        seen = []
+        h.register_observer(lambda *args: seen.append(args))
+        h.load_line(0, 100, 0)
+        h.unregister_observer(h._observers[0])
+        h.load_line(0, 200, ns_to_fs(1_000))
+        assert len(seen) == 1

@@ -73,6 +73,39 @@ class TestRecorder:
         _, _, traced = record_run()
         assert traced.exec_time_fs == plain.exec_time_fs
 
+    def test_context_manager_detaches_and_restores_fastpath(self):
+        cfg = MachineConfig(num_cores=1)
+        program = get_workload("fir").build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        with TraceRecorder(system) as recorder:
+            assert not system.hierarchy.fastpath_safe
+        assert system.hierarchy.fastpath_safe
+        assert recorder.records == []
+        TraceRecorder(system)        # the hook slot is free again
+
+    def test_context_manager_detaches_on_raise(self):
+        cfg = MachineConfig(num_cores=1)
+        program = get_workload("fir").build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        with pytest.raises(RuntimeError, match="boom"):
+            with TraceRecorder(system):
+                raise RuntimeError("boom")
+        # The hook leak this guards against: before the fix, a raise
+        # inside the with-block left trace_hook attached and pinned
+        # every later run on this system to the slow path.
+        assert system.hierarchy.fastpath_safe
+
+    def test_detach_is_idempotent_and_never_evicts_a_successor(self):
+        cfg = MachineConfig(num_cores=1)
+        program = get_workload("fir").build("cc", cfg, preset="tiny")
+        system = CmpSystem(cfg, program)
+        first = TraceRecorder(system)
+        first.detach()
+        first.detach()                       # no-op, not an error
+        second = TraceRecorder(system)
+        first.detach()                       # must not evict `second`
+        assert system.hierarchy.trace_hook == second._record
+
 
 def rec(i, line, kind="ld", latency=0):
     return TraceRecord(i, 0, kind, line, latency)
