@@ -16,6 +16,13 @@ code.
 
 The ``task_pop`` operation returns a value *into* the generator — use
 ``item = yield task_pop(queue)``.
+
+Hot loops should not rebuild the same op tuples every iteration: build an
+:class:`OpBlock` template once with :func:`block` and yield
+``template.at(offset)`` per iteration instead.  The processor replays the
+block without generator round trips, and — when every line it touches is
+a guaranteed L1 hit — retires it in closed form (see
+:mod:`repro.core.processor` and docs/PERF.md).
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ OP_ICACHE_MISS = "im"
 OP_BULK_PREFETCH = "bpf"
 OP_CACHE_FLUSH = "cfl"
 OP_CACHE_INVALIDATE = "cinv"
+OP_BLOCK = "blk"
 
 WORD_BYTES = 4
 
@@ -224,3 +232,268 @@ def icache_miss(count: int = 1) -> tuple:
     if count <= 0:
         raise ValueError(f"icache miss count must be positive, got {count}")
     return (OP_ICACHE_MISS, count)
+
+
+# ----------------------------------------------------------------------
+# Op blocks: batched op streams with cached replay templates
+# ----------------------------------------------------------------------
+
+#: Upper bound on ops per block.  Blocks are interpreted atomically
+#: between quantum-boundary checks only in the sense that no generator
+#: round trip happens inside one; the bound keeps a single materialized
+#: block (REPRO_BLOCKS=0) from ballooning memory.
+MAX_BLOCK_OPS = 4096
+
+#: Ops that suspend the thread or send a value back into the generator.
+#: They cannot appear inside a block: the processor must be able to
+#: replay a block without consulting the scheduler or the generator.
+_BLOCK_REJECTED = frozenset({
+    OP_BARRIER, OP_LOCK, OP_UNLOCK, OP_TASK_POP, OP_BLOCK,
+})
+
+#: Ops the closed-form path can retire arithmetically: their cost is a
+#: fixed cycle count whenever the lines they touch are resident L1 hits
+#: (or local-store accesses), and their only side effects are counters
+#: and LRU order.
+_ARITH_OPS = frozenset({
+    OP_COMPUTE, OP_LOAD, OP_STORE, OP_PFS, OP_LOCAL_LOAD, OP_LOCAL_STORE,
+})
+
+#: Ops whose field 1 is a memory address shifted by the replay offset.
+_ADDR1_OPS = frozenset({
+    OP_LOAD, OP_STORE, OP_PFS, OP_BULK_PREFETCH,
+    OP_CACHE_FLUSH, OP_CACHE_INVALIDATE,
+})
+
+#: Ops whose field 2 is a memory address shifted by the replay offset
+#: (DMA commands: field 1 is the tag).
+_ADDR2_OPS = frozenset({OP_DMA_GET, OP_DMA_PUT})
+
+_KNOWN_OPS = _ARITH_OPS | _ADDR2_OPS | frozenset({
+    OP_DMA_WAIT, OP_ICACHE_MISS, OP_BULK_PREFETCH,
+    OP_CACHE_FLUSH, OP_CACHE_INVALIDATE,
+})
+
+
+class _BlockGeometry:
+    """Per-``line_shift`` cache-line view of a block (closed-form data).
+
+    ``checks`` holds one entry per distinct relative line, in first-touch
+    order: ``(rel_line, loaded, load_before_store, stored)``.  ``loaded``
+    lines must be ready (``ready_fs <= now``) for the closed form to
+    apply; ``load_before_store`` lines must additionally carry no
+    prefetch tag (a store would have cleared it first otherwise); and
+    ``stored`` lines must not be SHARED.  ``lru`` lists relative lines in
+    last-touch order — replaying ``move_to_end`` over it reproduces the
+    exact LRU order per-op execution would leave.
+    """
+
+    __slots__ = ("checks", "stored", "lru", "loads_hit", "stores_hit")
+
+    def __init__(self, ops: tuple, line_shift: int) -> None:
+        touched: dict[int, list] = {}   # rel_line -> [loaded, fresh, stored]
+        order: dict[int, None] = {}     # last-touch order (dict = ordered)
+        loads_hit = 0
+        stores_hit = 0
+        for op in ops:
+            kind = op[0]
+            if kind == OP_LOAD:
+                is_load = True
+            elif kind == OP_STORE or kind == OP_PFS:
+                is_load = False
+            else:
+                continue
+            _, addr, nbytes, _accesses = op
+            first = addr >> line_shift
+            last = (addr + nbytes - 1) >> line_shift
+            for line in range(first, last + 1):
+                flags = touched.get(line)
+                if flags is None:
+                    flags = touched[line] = [False, False, False]
+                if is_load:
+                    loads_hit += 1
+                    flags[0] = True
+                    if not flags[2]:
+                        flags[1] = True      # load before any store
+                else:
+                    stores_hit += 1
+                    flags[2] = True
+                if line in order:
+                    del order[line]
+                order[line] = None
+        self.checks = tuple(
+            (line, flags[0], flags[1], flags[2])
+            for line, flags in touched.items())
+        self.stored = tuple(
+            line for line, flags in touched.items() if flags[2])
+        self.lru = tuple(order)
+        self.loads_hit = loads_hit
+        self.stores_hit = stores_hit
+
+
+class OpBlock:
+    """An immutable, validated op sequence replayed with an address offset.
+
+    Built once via :func:`block`, yielded per iteration as
+    ``template.at(offset)``.  The offset shifts every *memory* address in
+    the block (loads, stores, prefetches, flushes, DMA source/target);
+    local-store offsets are a separate, fixed address space and do not
+    shift.  Sync ops (barrier/lock/unlock/task_pop) are rejected — a
+    block must be replayable without suspending the thread.
+
+    Attributes precomputed for the interpreter:
+
+    * ``arith_cycles`` — total cost in core cycles when every memory line
+      hits (``None`` if the block contains DMA/prefetch/flush ops, which
+      never retire in closed form);
+    * ``prefix_cycles`` — cumulative cycles after each op, used to replay
+      the exact quantum-renewal schedule arithmetically;
+    * counter aggregates (instructions, word/local accesses, local-store
+      read/write bytes and accesses).
+    """
+
+    __slots__ = (
+        "ops", "name", "min_addr", "arith_cycles", "prefix_cycles",
+        "instructions", "word_accesses", "local_accesses",
+        "ls_reads", "ls_read_accesses", "ls_writes", "ls_write_accesses",
+        "ls_max_end", "has_local", "_geometries",
+    )
+
+    def __init__(self, ops: tuple, name: str | None) -> None:
+        self.ops = ops
+        self.name = name
+        self._geometries: dict[int, _BlockGeometry] = {}
+
+        min_addr = None
+        arith = True
+        cycles = 0
+        prefix = []
+        instructions = 0
+        word_accesses = 0
+        local_accesses = 0
+        ls_reads = ls_read_accesses = 0
+        ls_writes = ls_write_accesses = 0
+        ls_max_end = 0
+        has_local = False
+        for op in ops:
+            kind = op[0]
+            if kind == OP_COMPUTE:
+                cycles += op[1]
+                instructions += op[2]
+                word_accesses += op[3]
+            elif kind in (OP_LOAD, OP_STORE, OP_PFS):
+                _, addr, nbytes, accesses = op
+                if min_addr is None or addr < min_addr:
+                    min_addr = addr
+                cycles += accesses
+                instructions += accesses
+                word_accesses += accesses
+            elif kind in (OP_LOCAL_LOAD, OP_LOCAL_STORE):
+                _, offset, nbytes, accesses = op
+                has_local = True
+                cycles += accesses
+                instructions += accesses
+                local_accesses += accesses
+                if offset + nbytes > ls_max_end:
+                    ls_max_end = offset + nbytes
+                if kind == OP_LOCAL_LOAD:
+                    ls_reads += nbytes
+                    ls_read_accesses += accesses
+                else:
+                    ls_writes += nbytes
+                    ls_write_accesses += accesses
+            else:
+                arith = False
+                addr_index = 2 if kind in _ADDR2_OPS else (
+                    1 if kind in _ADDR1_OPS else None)
+                if addr_index is not None:
+                    addr = op[addr_index]
+                    if min_addr is None or addr < min_addr:
+                        min_addr = addr
+            prefix.append(cycles)
+
+        self.min_addr = 0 if min_addr is None else min_addr
+        self.arith_cycles = cycles if arith else None
+        self.prefix_cycles = tuple(prefix) if arith else None
+        self.instructions = instructions
+        self.word_accesses = word_accesses
+        self.local_accesses = local_accesses
+        self.ls_reads = ls_reads
+        self.ls_read_accesses = ls_read_accesses
+        self.ls_writes = ls_writes
+        self.ls_write_accesses = ls_write_accesses
+        self.ls_max_end = ls_max_end
+        self.has_local = has_local
+
+    def __repr__(self) -> str:
+        label = self.name or "anonymous"
+        return f"<OpBlock {label!r}: {len(self.ops)} ops>"
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def at(self, delta: int = 0) -> tuple:
+        """The replay op: this block with every memory address + ``delta``."""
+        # Hot: called once per loop iteration.  Full address validation
+        # happened in block(); here only the cheap sign check remains.
+        if delta < 0 and self.min_addr + delta < 0:
+            raise ValueError(
+                f"{self!r}: offset {delta} shifts address "
+                f"{self.min_addr:#x} negative")
+        return (OP_BLOCK, self, delta)
+
+    def geometry(self, line_shift: int) -> _BlockGeometry:
+        """The (cached) per-line closed-form view for one line geometry."""
+        geom = self._geometries.get(line_shift)
+        if geom is None:
+            geom = self._geometries[line_shift] = _BlockGeometry(
+                self.ops, line_shift)
+        return geom
+
+    def materialize(self, delta: int, start: int = 0) -> list:
+        """The plain per-op stream this block stands for, from ``start``.
+
+        This *is* the block's semantics: every execution mode other than
+        the tight/closed-form interpreter (``REPRO_BLOCKS=0``, or a block
+        carrying DMA ops, or a mid-block yield spilling its remainder)
+        runs exactly these tuples through the ordinary dispatch arms.
+        """
+        ops = self.ops[start:] if start else self.ops
+        if delta == 0:
+            return list(ops)
+        out = []
+        for op in ops:
+            kind = op[0]
+            if kind in _ADDR1_OPS:
+                out.append((kind, op[1] + delta) + op[2:])
+            elif kind in _ADDR2_OPS:
+                out.append((kind, op[1], op[2] + delta) + op[3:])
+            else:
+                out.append(op)
+        return out
+
+
+def block(*ops: tuple, name: str | None = None) -> OpBlock:
+    """Build an immutable, validated :class:`OpBlock` from op tuples.
+
+    Validation is front-loaded here (once per template) so replay does
+    none: the block must be non-empty, at most :data:`MAX_BLOCK_OPS`
+    ops, and free of suspending ops (barrier, lock/unlock, task_pop) and
+    nested blocks.
+    """
+    if not ops:
+        raise ValueError("a block must contain at least one op")
+    if len(ops) > MAX_BLOCK_OPS:
+        raise ValueError(
+            f"block of {len(ops)} ops exceeds MAX_BLOCK_OPS={MAX_BLOCK_OPS}")
+    for op in ops:
+        if not isinstance(op, tuple) or not op:
+            raise ValueError(f"not an op tuple: {op!r}")
+        kind = op[0]
+        if kind in _BLOCK_REJECTED:
+            raise ValueError(
+                f"op {kind!r} cannot appear inside a block "
+                "(blocks must replay without suspending the thread)")
+        if kind not in _KNOWN_OPS:
+            raise ValueError(f"unknown opcode {kind!r} in block")
+    return OpBlock(tuple(ops), name)

@@ -18,6 +18,7 @@ model honest without per-cycle lockstep.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.core.sync import (
@@ -26,7 +27,7 @@ from repro.core.sync import (
     TASK_POP_OVERHEAD_CYCLES,
 )
 from repro.mem.coherence import MesiState
-from repro.sim.fastpath import fastpath_enabled
+from repro.sim.fastpath import blocks_enabled, fastpath_enabled
 from repro.sim.kernel import SimulationError
 from repro.units import ns_to_fs
 
@@ -35,6 +36,29 @@ if TYPE_CHECKING:
 
 #: Fetch stall per instruction-cache miss: an L2 round trip.
 ICACHE_MISS_PENALTY_NS = 12.0
+
+
+def _limit_after_block(start_fs: int, limit_fs: int, cycle_fs: int,
+                       quantum_fs: int, prefix_cycles: tuple) -> int:
+    """Quantum limit after replaying a block's per-op renewal schedule.
+
+    Per-op execution checks ``now >= limit`` after *every* op and, with
+    the queue head beyond the core's clock, renews ``limit = now +
+    quantum``.  The closed form must leave the same limit so quantum
+    boundaries stay aligned with per-op execution for the rest of the
+    thread.  ``prefix_cycles[i]`` is the block's cumulative cost after op
+    ``i``, so the op times are ``start + P_i * cycle`` and each renewal
+    picks the first boundary at or past the current limit.  Renewal is
+    guaranteed to succeed: the caller established that the queue head
+    lies beyond the block's end, hence beyond every interior boundary.
+    """
+    total = prefix_cycles[-1]
+    while True:
+        need = -(-(limit_fs - start_fs) // cycle_fs)
+        if need > total:
+            return limit_fs
+        index = bisect_left(prefix_cycles, need)
+        limit_fs = start_fs + prefix_cycles[index] * cycle_fs + quantum_fs
 
 
 class Processor:
@@ -64,6 +88,13 @@ class Processor:
         #: Run-until-miss fast path (see :mod:`repro.sim.fastpath`).
         #: Read at construction so one system runs one mode throughout.
         self._fastpath = fastpath_enabled()
+        #: Block interpreter switch (REPRO_BLOCKS); when off, every
+        #: OpBlock is materialized back into the plain per-op stream.
+        self._blocks = blocks_enabled()
+        #: Ops spilled from a block (materialized remainder after a
+        #: mid-block yield, or a whole block under REPRO_BLOCKS=0),
+        #: consumed LIFO before the generator is consulted again.
+        self._pending: list[tuple] = []
         # Clock and accounting (all femtoseconds)
         self.now = 0
         self.useful_fs = 0
@@ -125,6 +156,19 @@ class Processor:
         ``REPRO_FASTPATH=0`` disables both, restoring the seed's
         one-event-per-quantum execution; per-access side channels (trace
         hooks, invariant observers) disable the inline-hit path alone.
+
+        * **Op blocks** (``"blk"``) are immutable templates the workload
+          yields once per loop iteration (see :func:`repro.core.ops.block`).
+          A block of compute / L1 / local-store ops whose lines are all
+          guaranteed inline hits and whose end precedes the queue head
+          retires in *closed form* — cost, counters, and LRU touches
+          applied arithmetically, with the quantum-renewal schedule
+          replayed via :func:`_limit_after_block`.  Otherwise the block
+          runs through a tight per-op loop (no generator round trips),
+          spilling its unexecuted remainder into ``self._pending`` if the
+          quantum expires mid-block.  ``REPRO_BLOCKS=0``, or any block
+          carrying DMA / prefetch / flush ops, materializes the block
+          back into plain tuples handled by the arms above.
         """
         gen_send = self._gen.send
         cycle_fs = self.cycle_fs
@@ -133,9 +177,21 @@ class Processor:
         store_line = hierarchy.store_line
         core_id = self.core_id
         line_shift = self._line_shift
+        line_mask = self._line_bytes - 1
         quantum_fs = self._quantum_fs
         fastpath = self._fastpath
         fast_mem = fastpath and hierarchy.fastpath_safe
+        blocks_on = self._blocks
+        pending = self._pending
+        # Per-op invariants hoisted to loop-locals: resolved once per
+        # scheduling slice instead of once per op.
+        local_store = (self._local_store[core_id]
+                       if self._local_store is not None else None)
+        dma_engine = self._dma_engine
+        dma_tags = self._dma_tags
+        dma_setup_cycles = self._dma_setup_cycles
+        dma_setup_fs = dma_setup_cycles * cycle_fs
+        imiss_fs = self._imiss_fs
         # The inline hit path goes straight at the L1's per-set dicts; the
         # slow path (and every miss) re-enters through the cache's public
         # methods, so LRU order ends up identical either way.
@@ -166,12 +222,18 @@ class Processor:
         action = SUSPEND
         try:
             while True:
-                try:
-                    op = gen_send(send_value)
-                except StopIteration:
-                    action = FINISH
-                    break
-                send_value = None
+                if pending:
+                    # Spilled block remainder; blocks never contain ops
+                    # that suspend or send values, so send_value is
+                    # untouched on this path.
+                    op = pending.pop()
+                else:
+                    try:
+                        op = gen_send(send_value)
+                    except StopIteration:
+                        action = FINISH
+                        break
+                    send_value = None
                 kind = op[0]
 
                 if kind == "c":
@@ -243,9 +305,206 @@ class Processor:
                             break
                         line += 1
 
+                elif kind == "blk":
+                    blk = op[1]
+                    delta = op[2]
+                    # A 4-tuple is a resume cursor spilled by the tight
+                    # loop below at a quantum boundary; re-enter at the
+                    # recorded op index (skipping the closed form, whose
+                    # geometry covers only whole blocks).
+                    start = op[3] if len(op) == 4 else 0
+                    if not blocks_on or blk.arith_cycles is None:
+                        # Escape hatch, or a block carrying DMA / prefetch
+                        # / flush ops: run the plain per-op stream through
+                        # the ordinary dispatch arms above.
+                        pending.extend(reversed(blk.materialize(delta)))
+                        continue
+                    if start == 0 and fast_mem and not (delta & line_mask):
+                        # Closed form: if every line the block touches is
+                        # a guaranteed inline hit and no foreign event
+                        # intervenes before the block's end, the whole
+                        # block retires arithmetically.  Every condition
+                        # checked here is exactly the condition under
+                        # which the per-op loop below would have taken
+                        # the inline path for every single access.  The
+                        # per-line residency checks run first: they are
+                        # plain dict probes that fail fast on miss-heavy
+                        # streams, gating the costlier queue peek.
+                        geom = blk._geometries.get(line_shift)
+                        if geom is None:
+                            geom = blk.geometry(line_shift)
+                        dl = delta >> line_shift
+                        ok = True
+                        for rel, loaded, fresh, written in geom.checks:
+                            line = rel + dl
+                            entry = l1_sets[line & l1_mask].get(line)
+                            if (entry is None
+                                    or (loaded
+                                        and (entry.ready_fs > now
+                                             or (fresh
+                                                 and entry.prefetched)))
+                                    or (written
+                                        and entry.state is shared)):
+                                ok = False
+                                break
+                        if ok and blk.has_local:
+                            ok = (local_store is not None
+                                  and local_store.observer is None
+                                  and blk.ls_max_end
+                                  <= local_store.capacity_bytes)
+                        if ok:
+                            end = now + blk.arith_cycles * cycle_fs
+                            if end >= limit:
+                                next_fs = peek_time()
+                                ok = next_fs is None or next_fs > end
+                        if ok:
+                            for rel in geom.stored:
+                                line = rel + dl
+                                entry = l1_sets[line & l1_mask][line]
+                                entry.state = modified
+                                entry.prefetched = False
+                            for rel in geom.lru:
+                                line = rel + dl
+                                l1_sets[line & l1_mask].move_to_end(line)
+                            loads_hit += geom.loads_hit
+                            stores_hit += geom.stores_hit
+                            if blk.has_local:
+                                local_store.reads += blk.ls_reads
+                                local_store.read_accesses += (
+                                    blk.ls_read_accesses)
+                                local_store.writes += blk.ls_writes
+                                local_store.write_accesses += (
+                                    blk.ls_write_accesses)
+                            useful += end - now
+                            instructions += blk.instructions
+                            word_accesses += blk.word_accesses
+                            local_accesses += blk.local_accesses
+                            if end >= limit:
+                                limit = _limit_after_block(
+                                    now, limit, cycle_fs, quantum_fs,
+                                    blk.prefix_cycles)
+                            now = end
+                            continue
+                    # Tight per-op loop: same arms as above, no generator
+                    # round trips.  Only arithmetic opcodes occur here
+                    # (compute / ld / st / pfs / lsld / lsst) — blocks
+                    # with anything else were materialized above.
+                    ops_seq = blk.ops
+                    n_ops = len(ops_seq)
+                    index = start
+                    yielded = False
+                    while index < n_ops:
+                        bop = ops_seq[index]
+                        index += 1
+                        bkind = bop[0]
+                        if bkind == "ld":
+                            _, addr, nbytes, accesses = bop
+                            addr += delta
+                            issue = accesses * cycle_fs
+                            now += issue
+                            useful += issue
+                            instructions += accesses
+                            word_accesses += accesses
+                            line = addr >> line_shift
+                            last = (addr + nbytes - 1) >> line_shift
+                            while True:
+                                if fast_mem:
+                                    cache_set = l1_sets[line & l1_mask]
+                                    entry = cache_set.get(line)
+                                    if (entry is not None
+                                            and entry.ready_fs <= now
+                                            and not entry.prefetched):
+                                        cache_set.move_to_end(line)
+                                        loads_hit += 1
+                                        if line == last:
+                                            break
+                                        line += 1
+                                        continue
+                                done = load_line(core_id, line, now)
+                                if done > now:
+                                    load_stall += done - now
+                                    now = done
+                                if line == last:
+                                    break
+                                line += 1
+                        elif bkind == "c":
+                            _, cycles, op_instructions, l1_accesses = bop
+                            cost = cycles * cycle_fs
+                            now += cost
+                            useful += cost
+                            instructions += op_instructions
+                            word_accesses += l1_accesses
+                        elif bkind == "st" or bkind == "pfs":
+                            _, addr, nbytes, accesses = bop
+                            addr += delta
+                            issue = accesses * cycle_fs
+                            now += issue
+                            useful += issue
+                            instructions += accesses
+                            word_accesses += accesses
+                            no_allocate = bkind == "pfs"
+                            line = addr >> line_shift
+                            last = (addr + nbytes - 1) >> line_shift
+                            while True:
+                                if fast_mem:
+                                    cache_set = l1_sets[line & l1_mask]
+                                    entry = cache_set.get(line)
+                                    if (entry is not None
+                                            and entry.state is not shared):
+                                        cache_set.move_to_end(line)
+                                        entry.state = modified
+                                        entry.prefetched = False
+                                        stores_hit += 1
+                                        if line == last:
+                                            break
+                                        line += 1
+                                        continue
+                                stall = store_line(core_id, line, now,
+                                                   no_allocate=no_allocate)
+                                if stall:
+                                    store_stall += stall
+                                    now += stall
+                                if line == last:
+                                    break
+                                line += 1
+                        else:  # lsld / lsst
+                            _, offset, nbytes, accesses = bop
+                            if local_store is None:
+                                raise SimulationError(
+                                    f"core {core_id}: local-store access "
+                                    "on the cache-coherent model")
+                            local_store.check_range(offset, nbytes)
+                            if bkind == "lsld":
+                                local_store.record_read(nbytes, accesses)
+                            else:
+                                local_store.record_write(nbytes, accesses)
+                            issue = accesses * cycle_fs
+                            now += issue
+                            useful += issue
+                            instructions += accesses
+                            local_accesses += accesses
+                        if now >= limit:
+                            if fastpath:
+                                next_fs = peek_time()
+                                if next_fs is None or next_fs > now:
+                                    limit = now + quantum_fs
+                                    continue
+                            if index < n_ops:
+                                pending.append(("blk", blk, delta, index))
+                            yielded = True
+                            break
+                    if yielded:
+                        action = YIELD
+                        break
+                    continue
+
                 elif kind == "lsld" or kind == "lsst":
                     _, offset, nbytes, accesses = op
-                    store = self._local_store[core_id]
+                    store = local_store
+                    if store is None:
+                        raise SimulationError(
+                            f"core {core_id}: local-store access on the "
+                            "cache-coherent model")
                     store.check_range(offset, nbytes)
                     if kind == "lsld":
                         store.record_read(nbytes, accesses)
@@ -259,26 +518,31 @@ class Processor:
 
                 elif kind == "dget" or kind == "dput":
                     _, tag, addr, nbytes, stride, block = op
-                    engine = self._dma_engine
-                    if engine is None:
+                    if dma_engine is None:
                         raise SimulationError(
                             f"core {core_id}: DMA issued on the "
                             "cache-coherent model"
                         )
-                    setup = self._dma_setup_cycles * cycle_fs
-                    now += setup
-                    useful += setup
-                    instructions += self._dma_setup_cycles
+                    now += dma_setup_fs
+                    useful += dma_setup_fs
+                    instructions += dma_setup_cycles
                     if kind == "dget":
-                        done = engine.get(now, addr, nbytes, stride, block)
+                        done = dma_engine.get(now, addr, nbytes, stride, block)
                     else:
-                        done = engine.put(now, addr, nbytes, stride, block)
-                    previous = self._dma_tags.get(tag, 0)
+                        done = dma_engine.put(now, addr, nbytes, stride, block)
+                    previous = dma_tags.get(tag, 0)
                     if done > previous:
-                        self._dma_tags[tag] = done
+                        dma_tags[tag] = done
 
                 elif kind == "dwait":
-                    done = self._dma_tags.get(op[1], now)
+                    done = dma_tags.get(op[1])
+                    if done is None:
+                        # Waiting on a tag that never issued a command is
+                        # always a workload bug (the wait would silently
+                        # cost zero time), so fail loudly.
+                        raise SimulationError(
+                            f"core {core_id}: dwait on tag {op[1]} which "
+                            "never issued a DMA command")
                     if done > now:
                         sync += done - now
                         now = done
@@ -318,10 +582,9 @@ class Processor:
 
                 elif kind == "bpf":
                     _, addr, nbytes = op
-                    setup = self._dma_setup_cycles * cycle_fs
-                    now += setup
-                    useful += setup
-                    instructions += self._dma_setup_cycles
+                    now += dma_setup_fs
+                    useful += dma_setup_fs
+                    instructions += dma_setup_cycles
                     first = addr >> line_shift
                     last = (addr + nbytes - 1) >> line_shift
                     hierarchy.bulk_prefetch(core_id, first, last, now)
@@ -344,7 +607,7 @@ class Processor:
                 elif kind == "im":
                     count = op[1]
                     icache_misses += count
-                    penalty = count * self._imiss_fs
+                    penalty = count * imiss_fs
                     now += penalty
                     useful += penalty
 

@@ -93,21 +93,51 @@ class DmaEngine:
         done = start
         uncore = self.uncore
         cl = self.cluster_id
-        for block_addr, block_size in self._blocks(addr, nbytes, stride, block):
-            for gran_addr, gran_size in self._granules(block_addr, block_size):
-                t = self._throttle(start)
-                line = gran_addr >> self._line_shift
-                t = uncore.xbar.up[cl].control(t)
-                if gran_size == self.line_bytes and gran_addr % self.line_bytes == 0:
-                    t, _ = uncore.l2_read(line, t)
-                else:
-                    # Scatter/gather: the L2 still serves reuse; a miss
-                    # moves only the bytes needed from DRAM.
-                    t = uncore.l2_read_partial(line, gran_size, t)
-                t = uncore.xbar.down[cl].transfer(t, gran_size)
-                t = uncore.buses[cl].resp.transfer(t, gran_size)
-                self._window.append(t)
-                done = max(done, t)
+        # Hot-loop locals: every granule crosses three resources, so the
+        # attribute chains are hoisted once per command.
+        line_bytes = self.line_bytes
+        window = self._window
+        win_size = window.maxlen
+        append = window.append
+        xbar_control = uncore.xbar.up[cl].control
+        xbar_down = uncore.xbar.down[cl].transfer
+        bus_resp = uncore.buses[cl].resp.transfer
+        l2_read = uncore.l2_read
+        if stride == 0 and nbytes > 0 and not (addr & (line_bytes - 1)) \
+                and not (nbytes & (line_bytes - 1)):
+            # Contiguous line-aligned command: uniform line granules.
+            line0 = addr >> self._line_shift
+            for line in range(line0, line0 + (nbytes >> self._line_shift)):
+                t = start if len(window) < win_size else max(start, window[0])
+                t = xbar_control(t)
+                t, _ = l2_read(line, t)
+                t = xbar_down(t, line_bytes)
+                t = bus_resp(t, line_bytes)
+                append(t)
+                if t > done:
+                    done = t
+        else:
+            shift = self._line_shift
+            l2_read_partial = uncore.l2_read_partial
+            for block_addr, block_size in self._blocks(addr, nbytes, stride,
+                                                       block):
+                for gran_addr, gran_size in self._granules(block_addr,
+                                                           block_size):
+                    t = start if len(window) < win_size \
+                        else max(start, window[0])
+                    line = gran_addr >> shift
+                    t = xbar_control(t)
+                    if gran_size == line_bytes and gran_addr % line_bytes == 0:
+                        t, _ = l2_read(line, t)
+                    else:
+                        # Scatter/gather: the L2 still serves reuse; a miss
+                        # moves only the bytes needed from DRAM.
+                        t = l2_read_partial(line, gran_size, t)
+                    t = xbar_down(t, gran_size)
+                    t = bus_resp(t, gran_size)
+                    append(t)
+                    if t > done:
+                        done = t
         self._engine_free = done
         if self.trace_hook is not None:
             self.trace_hook("get", self.core_id, now_fs, start, done,
@@ -132,18 +162,43 @@ class DmaEngine:
         done = start
         uncore = self.uncore
         cl = self.cluster_id
-        for block_addr, block_size in self._blocks(addr, nbytes, stride, block):
-            for gran_addr, gran_size in self._granules(block_addr, block_size):
-                t = self._throttle(start)
-                t = uncore.buses[cl].req.transfer(t, gran_size)
-                t = uncore.xbar.up[cl].transfer(t, gran_size)
-                line = gran_addr >> self._line_shift
-                if gran_size == self.line_bytes and gran_addr % self.line_bytes == 0:
-                    t = uncore.l2_write(line, t, refill=False)
-                else:
-                    t = uncore.l2_write_partial(line, gran_size, t)
-                self._window.append(t)
-                done = max(done, t)
+        line_bytes = self.line_bytes
+        window = self._window
+        win_size = window.maxlen
+        append = window.append
+        bus_req = uncore.buses[cl].req.transfer
+        xbar_up = uncore.xbar.up[cl].transfer
+        l2_write = uncore.l2_write
+        if stride == 0 and nbytes > 0 and not (addr & (line_bytes - 1)) \
+                and not (nbytes & (line_bytes - 1)):
+            line0 = addr >> self._line_shift
+            for line in range(line0, line0 + (nbytes >> self._line_shift)):
+                t = start if len(window) < win_size else max(start, window[0])
+                t = bus_req(t, line_bytes)
+                t = xbar_up(t, line_bytes)
+                t = l2_write(line, t, refill=False)
+                append(t)
+                if t > done:
+                    done = t
+        else:
+            shift = self._line_shift
+            l2_write_partial = uncore.l2_write_partial
+            for block_addr, block_size in self._blocks(addr, nbytes, stride,
+                                                       block):
+                for gran_addr, gran_size in self._granules(block_addr,
+                                                           block_size):
+                    t = start if len(window) < win_size \
+                        else max(start, window[0])
+                    t = bus_req(t, gran_size)
+                    t = xbar_up(t, gran_size)
+                    line = gran_addr >> shift
+                    if gran_size == line_bytes and gran_addr % line_bytes == 0:
+                        t = l2_write(line, t, refill=False)
+                    else:
+                        t = l2_write_partial(line, gran_size, t)
+                    append(t)
+                    if t > done:
+                        done = t
         self._engine_free = done
         if self.trace_hook is not None:
             self.trace_hook("put", self.core_id, now_fs, start, done,

@@ -93,8 +93,8 @@ class DramChannel:
         if self._simple:
             channel = self.channel
             channel.bytes_moved += num_bytes
-            _, done = channel.acquire(now_fs, num_bytes * channel.fs_per_byte)
-            return done + self._latency_fs
+            return channel.serve(now_fs, num_bytes * channel.fs_per_byte) \
+                + self._latency_fs
         _, done = self._channel_for(addr).transfer(now_fs, num_bytes)
         return done + self._latency_for(addr)
 
@@ -109,8 +109,8 @@ class DramChannel:
         if self._simple:
             channel = self.channel
             channel.bytes_moved += num_bytes
-            _, done = channel.acquire(now_fs, num_bytes * channel.fs_per_byte)
-            return done + self._latency_fs
+            return channel.serve(now_fs, num_bytes * channel.fs_per_byte) \
+                + self._latency_fs
         _, done = self._channel_for(addr).transfer(now_fs, num_bytes)
         return done + self._latency_for(addr)
 

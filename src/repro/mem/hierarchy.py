@@ -88,7 +88,7 @@ class Uncore:
         cache_set = l2._sets[line & l2._set_mask]
         entry = cache_set.get(line)
         bank = self.l2_banks[line % self._num_banks]
-        _, sent = bank.acquire(now_fs, self._l2_service_fs)
+        sent = bank.serve(now_fs, self._l2_service_fs)
         if entry is not None:
             cache_set.move_to_end(line)
             self.l2_read_hits += 1
@@ -110,7 +110,7 @@ class Uncore:
         self.l2_writes += 1
         entry = self.l2.touch(line)
         bank = self.l2_banks[line % self._num_banks]
-        _, sent = bank.acquire(now_fs, self._l2_service_fs)
+        sent = bank.serve(now_fs, self._l2_service_fs)
         if entry is not None:
             self.l2_write_hits += 1
             entry.state = MesiState.MODIFIED
@@ -136,7 +136,7 @@ class Uncore:
         self.l2_reads += 1
         entry = self.l2.touch(line)
         bank = self.l2_banks[line % self._num_banks]
-        _, sent = bank.acquire(now_fs, self._l2_service_fs)
+        sent = bank.serve(now_fs, self._l2_service_fs)
         if entry is not None:
             self.l2_read_hits += 1
             return sent
@@ -155,7 +155,7 @@ class Uncore:
         self.l2_writes += 1
         entry = self.l2.touch(line)
         bank = self.l2_banks[line % self._num_banks]
-        _, sent = bank.acquire(now_fs, self._l2_service_fs)
+        sent = bank.serve(now_fs, self._l2_service_fs)
         if entry is not None:
             self.l2_write_hits += 1
             entry.state = MesiState.MODIFIED

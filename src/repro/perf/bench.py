@@ -63,13 +63,17 @@ class BenchCase:
 #: hardest (FIR is miss-path bound, bitonic sort is dispatch/hit bound),
 #: under both memory models, single- and multi-core — so a regression in
 #: any layer (inline hit path, quantum extension, resource calendars,
-#: DMA engine) moves at least one case.
+#: DMA engine) moves at least one case.  The multi-core streaming cases
+#: exercise the block interpreter's local-store closed form together
+#: with the DMA engine's contiguous-command fast branch.
 DEFAULT_CASES: tuple[BenchCase, ...] = (
     BenchCase("fir-cc-c1", "fir", "cc", 1),
     BenchCase("fir-str-c1", "fir", "str", 1),
     BenchCase("fir-cc-c4", "fir", "cc", 4),
+    BenchCase("fir-str-c4", "fir", "str", 4),
     BenchCase("bitonic-cc-c1", "bitonic", "cc", 1),
     BenchCase("bitonic-cc-c4", "bitonic", "cc", 4),
+    BenchCase("merge-str-c4", "merge", "str", 4),
 )
 
 

@@ -15,18 +15,36 @@ forces the original one-event-per-quantum execution, and the invariance
 tests in ``tests/test_fastpath.py`` diff full result rows across both
 modes.  Only ``stats["sim.events"]`` may differ (that is the point).
 
-The flag is read when a system is constructed, not at import time, so
-tests can toggle it per-run with ``monkeypatch.setenv``.
+The block interpreter (PR 5) has the same shape: workloads may yield
+:class:`repro.core.ops.OpBlock` templates that the processor replays in
+a tight inner loop — or, when every touched line is a guaranteed hit and
+the event-queue head lies beyond the block, retires in closed form.  Its
+escape hatch is
+
+    REPRO_BLOCKS=0 python -m repro ...
+
+which makes the processor materialize every block back into the plain
+per-op stream, exercising the original dispatch arms unchanged.  The two
+hatches compose: ``REPRO_FASTPATH=0 REPRO_BLOCKS=0`` is the seed's
+execution model, byte for byte.
+
+Both flags are read when a system is constructed, not at import time, so
+tests can toggle them per-run with ``monkeypatch.setenv``.
 """
 
 from __future__ import annotations
 
 import os
 
-#: Values of ``REPRO_FASTPATH`` that disable the fast path.
+#: Values of ``REPRO_FASTPATH`` / ``REPRO_BLOCKS`` that disable the path.
 _OFF_VALUES = frozenset({"0", "false", "off", "no"})
 
 
 def fastpath_enabled() -> bool:
     """True unless ``REPRO_FASTPATH`` is set to 0/false/off/no."""
     return os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in _OFF_VALUES
+
+
+def blocks_enabled() -> bool:
+    """True unless ``REPRO_BLOCKS`` is set to 0/false/off/no."""
+    return os.environ.get("REPRO_BLOCKS", "1").strip().lower() not in _OFF_VALUES

@@ -95,6 +95,15 @@ class OccupancyResource:
                         del starts[:_MAX_INTERVALS]
                         del ends[:_MAX_INTERVALS]
             return now_fs, end + self.latency_fs
+        if service_fs and now_fs >= starts[-1]:
+            # Arrival inside the last busy interval (the common case when
+            # a pipelined run of requests all arrive at their issue time):
+            # intervals are disjoint, so every earlier interval is fully
+            # past and the first fitting gap is the open tail.
+            start = ends[-1]
+            self.wait_fs += start - now_fs
+            ends[-1] = start + service_fs
+            return start, ends[-1] + self.latency_fs
         # First interval that ends after the arrival.
         index = bisect_right(ends, now_fs)
         t = now_fs
@@ -127,6 +136,40 @@ class OccupancyResource:
             del starts[:_MAX_INTERVALS]
             del ends[:_MAX_INTERVALS]
         return start, end + self.latency_fs
+
+    def serve(self, now_fs: int, service_fs: int) -> int:
+        """:meth:`acquire` for hot callers that only need the done time.
+
+        Identical accounting and calendar updates, but skips the result
+        tuple (and the negative-service validation — every caller passes
+        a fixed config-derived service time).  The two common cases are
+        handled inline; everything else falls through to ``acquire``.
+        """
+        ends = self._ends
+        if not ends or now_fs >= ends[-1]:
+            self.busy_fs += service_fs
+            self.requests += 1
+            end = now_fs + service_fs
+            if service_fs:
+                if ends and ends[-1] == now_fs:
+                    ends[-1] = end
+                else:
+                    starts = self._starts
+                    starts.append(now_fs)
+                    ends.append(end)
+                    if len(starts) >= _TRIM_AT:
+                        del starts[:_MAX_INTERVALS]
+                        del ends[:_MAX_INTERVALS]
+            return end + self.latency_fs
+        if service_fs and now_fs >= self._starts[-1]:
+            self.busy_fs += service_fs
+            self.requests += 1
+            start = ends[-1]
+            self.wait_fs += start - now_fs
+            end = start + service_fs
+            ends[-1] = end
+            return end + self.latency_fs
+        return self.acquire(now_fs, service_fs)[1]
 
     def utilization(self, total_fs: int) -> float:
         """Fraction of ``total_fs`` during which the resource was busy."""

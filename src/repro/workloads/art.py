@@ -27,6 +27,7 @@ from __future__ import annotations
 from repro.config import MachineConfig
 from repro.core.ops import (
     barrier_wait,
+    block,
     compute,
     dma_get,
     dma_put,
@@ -146,29 +147,70 @@ class ArtWorkload(Workload):
                 ("renorm_write", ("v",), ("tmp1",)),
             ]
 
+        # Pass templates, shared by every core, pass, and invocation:
+        # built once at address zero and replayed at the slice's absolute
+        # address.  Dense passes batch up to _CHUNK_LINES [line, compute]
+        # pairs per block; AoS passes batch one line's worth of strided
+        # field touches (the compute lands after the group's first
+        # element, exactly where the unbatched loop put it).
+        _CHUNK_LINES = 256
+        element_compute = compute(cyc * WORDS_PER_LINE,
+                                  l1_accesses=cyc * WORDS_PER_LINE // 2)
+        dense_cache: dict[tuple, object] = {}
+        aos_cache: dict[tuple, object] = {}
+
+        def dense_block(is_write: bool, n_lines: int, tail: int):
+            key = (is_write, n_lines, tail)
+            tmpl = dense_cache.get(key)
+            if tmpl is None:
+                op = store if is_write else load
+                ops = []
+                for k in range(n_lines):
+                    ops.append(op(k * LINE_BYTES, LINE_BYTES))
+                    ops.append(element_compute)
+                if tail:
+                    ops.append(op(n_lines * LINE_BYTES, tail))
+                    ops.append(element_compute)
+                tmpl = dense_cache[key] = block(*ops, name="art.dense")
+            return tmpl
+
+        def aos_block(is_write: bool, n_el: int):
+            key = (is_write, n_el)
+            tmpl = aos_cache.get(key)
+            if tmpl is None:
+                op = store if is_write else load
+                ops = []
+                for k in range(n_el):
+                    ops.append(op(k * AOS_STRIDE, WORD_BYTES, accesses=1))
+                    if not is_write:
+                        ops.append(op(k * AOS_STRIDE + 32, WORD_BYTES,
+                                      accesses=1))
+                    if k == 0:
+                        ops.append(element_compute)
+                tmpl = aos_cache[key] = block(*ops, name="art.aos")
+            return tmpl
+
         def emit_vector(base: int, is_write: bool, start_el: int, count_el: int):
             """Per-core slice of one whole-vector pass."""
-            op = store if is_write else load
             if aos and base != regions["w"][0]:
                 # Sparsely strided field accesses.  Each pass touches two
                 # fields of the 64-byte record (they sit on different
                 # cache lines), dragging a whole line per 4 useful bytes.
-                for i in range(start_el, start_el + count_el):
-                    yield op(base + i * AOS_STRIDE, WORD_BYTES, accesses=1)
-                    if not is_write:
-                        yield op(base + i * AOS_STRIDE + 32, WORD_BYTES,
-                                 accesses=1)
-                    if (i - start_el) % WORDS_PER_LINE == 0:
-                        yield compute(cyc * WORDS_PER_LINE,
-                                      l1_accesses=cyc * WORDS_PER_LINE // 2)
+                done = 0
+                while done < count_el:
+                    group = min(WORDS_PER_LINE, count_el - done)
+                    yield aos_block(is_write, group).at(
+                        base + (start_el + done) * AOS_STRIDE)
+                    done += group
             else:
-                start_b = start_el * WORD_BYTES
-                end_b = (start_el + count_el) * WORD_BYTES
-                for addr in range(base + start_b, base + end_b, LINE_BYTES):
-                    size = min(LINE_BYTES, base + end_b - addr)
-                    yield op(addr, size)
-                    yield compute(cyc * WORDS_PER_LINE,
-                                  l1_accesses=cyc * WORDS_PER_LINE // 2)
+                addr = base + start_el * WORD_BYTES
+                remaining = count_el * WORD_BYTES
+                while remaining > 0:
+                    span = min(_CHUNK_LINES * LINE_BYTES, remaining)
+                    n_lines, tail = divmod(span, LINE_BYTES)
+                    yield dense_block(is_write, n_lines, tail).at(addr)
+                    addr += span
+                    remaining -= span
 
         def make_thread(env: Env):
             core = env.core_id
@@ -213,6 +255,21 @@ class ArtWorkload(Workload):
             out_buf = ls.alloc(block_bytes, "out")
             start, count = partition(n, num_cores, core)
 
+            # Local-store kernels, cached per (buffer, transfer size).
+            kernel_cache: dict[tuple, object] = {}
+
+            def kernel(buffer: int, size: int, is_write: bool):
+                key = (buffer, size, is_write)
+                tmpl = kernel_cache.get(key)
+                if tmpl is None:
+                    touch = local_store if is_write else local_load
+                    tmpl = kernel_cache[key] = block(
+                        touch(buffer, size),
+                        compute(cyc * size // WORD_BYTES,
+                                l1_accesses=cyc * size // WORD_BYTES // 2),
+                        name="art.kernel")
+                return tmpl
+
             def stream_vector(base: int, start_el: int, count_el: int,
                               is_write: bool):
                 start_b = start_el * WORD_BYTES
@@ -221,11 +278,10 @@ class ArtWorkload(Workload):
                 if is_write:
                     for off in offsets:
                         size = min(block_bytes, total - off)
-                        yield local_store(out_buf, size)
-                        yield compute(cyc * size // WORD_BYTES,
-                                      l1_accesses=cyc * size // WORD_BYTES // 2)
+                        yield kernel(out_buf, size, True).at()
                         yield dma_put(2, base + start_b + off, size)
-                    yield dma_wait(2)
+                    if offsets:    # tag 2 never issues on an empty slice
+                        yield dma_wait(2)
                     return
                 # Double-buffered input stream (macroscopic prefetching).
                 if offsets:
@@ -239,9 +295,7 @@ class ArtWorkload(Workload):
                         yield dma_get((i + 1) & 1, base + start_b + nxt,
                                       min(block_bytes, total - nxt))
                     yield dma_wait(parity)
-                    yield local_load(buf[parity], size)
-                    yield compute(cyc * size // WORD_BYTES,
-                                  l1_accesses=cyc * size // WORD_BYTES // 2)
+                    yield kernel(buf[parity], size, False).at()
 
             for _ in range(params["invocations"]):
                 for _name, reads, writes in self._VECTOR_PASSES:

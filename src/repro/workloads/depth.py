@@ -161,8 +161,12 @@ class DepthWorkload(Workload):
                     yield dma_put(2 + parity,
                                   disp + ty * TILE * width + tx * TILE,
                                   out_bytes, stride=width, block=TILE)
-                yield dma_wait(2)
-                yield dma_wait(3)
+                # Tag 2 first issues on the first tile, tag 3 on the
+                # second; waiting on a never-issued tag is an error.
+                if count:
+                    yield dma_wait(2)
+                if count > 1:
+                    yield dma_wait(3)
                 yield barrier_wait(finish)
 
         return Program("depth", [make_thread] * num_cores, arena)

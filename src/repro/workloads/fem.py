@@ -21,6 +21,7 @@ import numpy as np
 from repro.config import MachineConfig
 from repro.core.ops import (
     barrier_wait,
+    block,
     compute,
     dma_get,
     dma_put,
@@ -131,17 +132,32 @@ class FemWorkload(Workload):
         barrier = Barrier(num_cores, "fem.step")
         cycles = params["cycles_per_cell"]
 
+        # Cells per replay template.  Neighbour addresses come from the
+        # mesh table, so the ops cannot share one offset-stepped template;
+        # instead each group of cells is baked into its own block once and
+        # replayed every timestep (the sweep revisits the same addresses).
+        group_cells = 64
+        cell_compute = compute(cycles, l1_accesses=cycles // 2)
+
         def make_thread(env: Env):
             start, count = partition(n_cells, num_cores, env.core_id)
-            for _step in range(params["iterations"]):
-                for cell in range(start, start + count):
-                    yield load(state + cell * CELL_BYTES, CELL_BYTES)
+            groups = []
+            for lo in range(start, start + count, group_cells):
+                hi = min(lo + group_cells, start + count)
+                ops = []
+                for cell in range(lo, hi):
+                    ops.append(load(state + cell * CELL_BYTES, CELL_BYTES))
                     for nb in mesh[cell]:
-                        yield load(state + int(nb) * CELL_BYTES, FLUX_BYTES)
-                    yield compute(cycles, l1_accesses=cycles // 2)
+                        ops.append(load(state + int(nb) * CELL_BYTES,
+                                        FLUX_BYTES))
+                    ops.append(cell_compute)
                     # In-place update: the store hits the just-loaded
                     # lines, so only touched lines ever get written back.
-                    yield store(state + cell * CELL_BYTES, CELL_BYTES)
+                    ops.append(store(state + cell * CELL_BYTES, CELL_BYTES))
+                groups.append(block(*ops, name="fem.cells"))
+            for _step in range(params["iterations"]):
+                for tmpl in groups:
+                    yield tmpl.at()
                 yield barrier_wait(barrier)
 
         return Program("fem", [make_thread] * num_cores, arena)
@@ -164,8 +180,25 @@ class FemWorkload(Workload):
                       for i in range(2)]
             out_buf = [ls.alloc(block_bytes, f"out{i}") for i in range(2)]
             start, count = partition(n_cells, num_cores, env.core_id)
+            blocks = list(range(start, start + count, block_cells))
+            # The local-store kernel per (buffer parity, cells in block),
+            # built on first use and replayed every block of every step.
+            kernel_cache: dict[tuple, object] = {}
+
+            def kernel(parity: int, n_blk: int):
+                tmpl = kernel_cache.get((parity, n_blk))
+                if tmpl is None:
+                    cyc = cycles_block * n_blk // block_cells
+                    tmpl = kernel_cache[(parity, n_blk)] = block(
+                        local_load(own_buf[parity], n_blk * CELL_BYTES),
+                        local_load(nb_buf[parity], n_blk * 4 * FLUX_BYTES),
+                        compute(cyc, l1_accesses=cyc // 2),
+                        local_store(out_buf[parity], n_blk * CELL_BYTES),
+                        name="fem.kernel")
+                return tmpl
+
+            issued_2 = issued_3 = False
             for _step in range(params["iterations"]):
-                blocks = list(range(start, start + count, block_cells))
 
                 def fetch(tag: int, block_start: int):
                     # Contiguous own-state block, then an indexed gather of
@@ -189,18 +222,21 @@ class FemWorkload(Workload):
                     yield dma_wait(parity)
                     if i >= 2:
                         yield dma_wait(2 + parity)
-                    yield local_load(own_buf[parity], n_blk * CELL_BYTES)
-                    yield local_load(nb_buf[parity], n_blk * 4 * FLUX_BYTES)
-                    yield compute(cycles_block * n_blk // block_cells,
-                                  l1_accesses=(cycles_block * n_blk
-                                               // block_cells) // 2)
-                    yield local_store(out_buf[parity], n_blk * CELL_BYTES)
+                    yield kernel(parity, n_blk).at()
                     # Whole blocks go back, modified or not (Section 2.3).
                     yield dma_put(2 + parity,
                                   state + block_start * CELL_BYTES,
                                   n_blk * CELL_BYTES)
-                yield dma_wait(2)
-                yield dma_wait(3)
+                # Tags 2/3 only exist once an even/odd iteration has put;
+                # waiting on a never-issued tag is an error.
+                if blocks:
+                    issued_2 = True
+                    if len(blocks) >= 2:
+                        issued_3 = True
+                if issued_2:
+                    yield dma_wait(2)
+                if issued_3:
+                    yield dma_wait(3)
                 yield barrier_wait(barrier)
 
         return Program("fem", [make_thread] * num_cores, arena)

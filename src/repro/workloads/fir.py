@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.config import MachineConfig
 from repro.core.ops import (
     barrier_wait,
+    block,
     bulk_prefetch,
     compute,
     dma_get,
@@ -107,6 +108,15 @@ class FirWorkload(Workload):
         block_bytes = params["block_samples"] * WORD_BYTES
         block_lines = block_bytes // LINE_BYTES
 
+        # One template for the whole kernel, replayed per line with the
+        # line offset (shared by all cores — blocks are immutable).
+        line_block = block(
+            load(input_base, LINE_BYTES),
+            compute(cycles_per_line, l1_accesses=cycles_per_line // 2),
+            store_op(output_base, LINE_BYTES),
+            name="fir.line",
+        )
+
         def make_thread(env: Env):
             start_line, count = partition(n_lines, num_cores, env.core_id)
             for i in range(start_line, start_line + count):
@@ -119,9 +129,7 @@ class FirWorkload(Workload):
                     if remaining > 0:
                         yield bulk_prefetch(input_base + next_block,
                                             min(block_bytes, remaining))
-                yield load(input_base + offset, LINE_BYTES)
-                yield compute(cycles_per_line, l1_accesses=cycles_per_line // 2)
-                yield store_op(output_base + offset, LINE_BYTES)
+                yield line_block.at(offset)
             yield barrier_wait(finish)
 
         return Program("fir", [make_thread] * num_cores, arena)
@@ -145,6 +153,17 @@ class FirWorkload(Workload):
             ls = env.local_store
             in_buf = [ls.alloc(block_bytes, f"in{i}") for i in range(2)]
             out_buf = [ls.alloc(block_bytes, f"out{i}") for i in range(2)]
+            # The local-store kernel per parity, built once and replayed.
+            kernel = [
+                block(
+                    local_load(in_buf[p], block_bytes),
+                    compute(cycles_per_block,
+                            l1_accesses=cycles_per_block // 2),
+                    local_store(out_buf[p], block_bytes),
+                    name=f"fir.block{p}",
+                )
+                for p in range(2)
+            ]
 
             def block_addr(index: int) -> int:
                 return input_base + index * block_bytes
@@ -152,23 +171,23 @@ class FirWorkload(Workload):
             # Prologue: fetch the first block.
             yield dma_get(0, block_addr(start), block_bytes)
             for i in range(count):
-                block = start + i
+                block_no = start + i
                 parity = i & 1
                 # Macroscopic prefetch: start the next fetch before working.
                 if i + 1 < count:
-                    yield dma_get((i + 1) & 1, block_addr(block + 1), block_bytes)
+                    yield dma_get((i + 1) & 1, block_addr(block_no + 1),
+                                  block_bytes)
                 yield dma_wait(parity)
                 # Drain the output buffer this iteration reuses.
                 if i >= 2:
                     yield dma_wait(2 + parity)
-                yield local_load(in_buf[parity], block_bytes)
-                yield compute(cycles_per_block,
-                              l1_accesses=cycles_per_block // 2)
-                yield local_store(out_buf[parity], block_bytes)
-                yield dma_put(2 + parity, output_base + block * block_bytes,
+                yield kernel[parity].at()
+                yield dma_put(2 + parity,
+                              output_base + block_no * block_bytes,
                               block_bytes)
             yield dma_wait(2)
-            yield dma_wait(3)
+            if count > 1:       # tag 3 first issues on the second block
+                yield dma_wait(3)
             yield barrier_wait(finish)
 
         return Program("fir", [make_thread] * num_cores, arena)

@@ -347,6 +347,7 @@ class Mpeg2Workload(Workload):
             in_buf = [ls.alloc(in_bytes, f"in{i}") for i in range(2)]
             out_buf = [ls.alloc(out_bytes, f"out{i}") for i in range(2)]
             window = ls.alloc(win_h * 2 * rng, "window")
+            issued_4 = issued_5 = False
             for frame, queue in enumerate(queues):
                 cur, ref, recon = curs[frame], refs[frame], recons[frame]
                 bits_base = bits + frame * mbs_x * mbs_y * 8
@@ -391,8 +392,16 @@ class Mpeg2Workload(Workload):
                     yield dma_put(4 + parity,
                                   bits_base + (mby * mbs_x + mbx) * 8, 8)
                     index += 1
-                yield dma_wait(4)
-                yield dma_wait(5)
+                # Tag 4 first issues on an even macroblock, tag 5 on an
+                # odd one; waiting on a never-issued tag is an error.
+                if mbs:
+                    issued_4 = True
+                    if len(mbs) >= 2:
+                        issued_5 = True
+                if issued_4:
+                    yield dma_wait(4)
+                if issued_5:
+                    yield dma_wait(5)
                 yield barrier_wait(frame_barrier)
 
         return Program("mpeg2", [make_thread] * num_cores, arena)

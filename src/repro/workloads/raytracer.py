@@ -221,6 +221,7 @@ class RaytracerWorkload(Workload):
             if use_softcache:
                 cache_buf = ls.alloc(self.SOFTCACHE_SLOTS * 32, "softcache")
                 ls.alloc(2 * TRIANGLE_BYTES, "triangles")
+            issued_0 = False
             while True:
                 chunk = yield task_pop(queue)
                 if chunk is None:
@@ -240,7 +241,10 @@ class RaytracerWorkload(Workload):
                     yield local_store(pix_buf + r * 4, 4, accesses=1)
                 yield dma_put(0, pixels + chunk * chunk_rays * 4,
                               chunk_rays * 4)
-            yield dma_wait(0)
+                issued_0 = True
+            # A thread that never drew a chunk has no put to wait for.
+            if issued_0:
+                yield dma_wait(0)
             yield barrier_wait(finish)
 
         return Program("raytracer", [make_thread] * num_cores, arena)

@@ -35,6 +35,7 @@ import numpy as np
 from repro.config import MachineConfig
 from repro.core.ops import (
     barrier_wait,
+    block,
     compute,
     dma_get,
     dma_put,
@@ -185,6 +186,43 @@ class BitonicSortWorkload(Workload):
         cycles_line = params["cycles_per_key"] * WORDS_PER_LINE
         store_op = pfs_store if params["pfs"] else store
 
+        # Compare-exchange templates, shared by every core and cached per
+        # shape: (partner line stride, which sides are dirty) for paired
+        # passes, the dirty flag alone for in-line passes.  The replay
+        # offset moves the template to the pass's lo line.
+        pair_cache: dict[tuple, object] = {}
+        single_cache: dict[bool, object] = {}
+
+        def pair_block(line_stride: int, dirty_lo: bool, dirty_hi: bool):
+            key = (line_stride, dirty_lo, dirty_hi)
+            tmpl = pair_cache.get(key)
+            if tmpl is None:
+                ops = [
+                    load(base, LINE_BYTES),
+                    load(base + line_stride * LINE_BYTES, LINE_BYTES),
+                    compute(2 * cycles_line, l1_accesses=cycles_line),
+                ]
+                if dirty_lo:
+                    ops.append(store_op(base, LINE_BYTES))
+                if dirty_hi:
+                    ops.append(store_op(base + line_stride * LINE_BYTES,
+                                        LINE_BYTES))
+                tmpl = pair_cache[key] = block(*ops, name="bitonic.pair")
+            return tmpl
+
+        def single_block(dirty_line: bool):
+            tmpl = single_cache.get(dirty_line)
+            if tmpl is None:
+                ops = [
+                    load(base, LINE_BYTES),
+                    compute(cycles_line, l1_accesses=cycles_line // 2),
+                ]
+                if dirty_line:
+                    ops.append(store_op(base, LINE_BYTES))
+                tmpl = single_cache[dirty_line] = block(
+                    *ops, name="bitonic.line")
+            return tmpl
+
         def make_thread(env: Env):
             core = env.core_id
             for stride, dirty in passes:
@@ -197,22 +235,14 @@ class BitonicSortWorkload(Workload):
                     start, count = partition(len(lo_lines), num_cores, core)
                     for lo in lo_lines[start:start + count]:
                         partner = lo + line_stride
-                        yield load(base + lo * LINE_BYTES, LINE_BYTES)
-                        yield load(base + partner * LINE_BYTES, LINE_BYTES)
-                        yield compute(2 * cycles_line,
-                                      l1_accesses=cycles_line)
-                        if dirty[lo]:
-                            yield store_op(base + lo * LINE_BYTES, LINE_BYTES)
-                        if dirty[partner]:
-                            yield store_op(base + partner * LINE_BYTES, LINE_BYTES)
+                        yield pair_block(
+                            line_stride, bool(dirty[lo]),
+                            bool(dirty[partner])).at(lo * LINE_BYTES)
                 else:
                     start, count = partition(len(dirty), num_cores, core)
                     for line in range(start, start + count):
-                        yield load(base + line * LINE_BYTES, LINE_BYTES)
-                        yield compute(cycles_line,
-                                      l1_accesses=cycles_line // 2)
-                        if dirty[line]:
-                            yield store_op(base + line * LINE_BYTES, LINE_BYTES)
+                        yield single_block(
+                            bool(dirty[line])).at(line * LINE_BYTES)
                 yield barrier_wait(barrier)
 
         return Program("bitonic", [make_thread] * num_cores, arena)
@@ -233,6 +263,26 @@ class BitonicSortWorkload(Workload):
             ls = env.local_store
             buf_lo = [ls.alloc(block_bytes, f"lo{i}") for i in range(2)]
             buf_hi = [ls.alloc(block_bytes, f"hi{i}") for i in range(2)]
+            # Local compare-exchange kernel per (parity, paired), built on
+            # first use and replayed for every block of every pass.  The
+            # trailing hi-half writeback stays outside: it interleaves
+            # with the DMA puts.
+            kernel_cache: dict[tuple, object] = {}
+
+            def kernel(parity: int, paired: bool):
+                tmpl = kernel_cache.get((parity, paired))
+                if tmpl is None:
+                    ops = [local_load(buf_lo[parity], block_bytes)]
+                    if paired:
+                        ops.append(local_load(buf_hi[parity], block_bytes))
+                    ops.append(compute((2 if paired else 1) * cycles_block,
+                                       l1_accesses=cycles_block // 2))
+                    ops.append(local_store(buf_lo[parity], block_bytes))
+                    tmpl = kernel_cache[(parity, paired)] = block(
+                        *ops, name="bitonic.kernel")
+                return tmpl
+
+            issued_2 = issued_3 = False
             for stride, _dirty in passes:
                 stride_bytes = stride * WORD_BYTES
                 if stride >= block_keys:
@@ -271,19 +321,22 @@ class BitonicSortWorkload(Workload):
                     if i >= 2:
                         yield dma_wait(2 + parity)
                     lo_addr = base + b * block_bytes
-                    yield local_load(buf_lo[parity], block_bytes)
-                    if paired:
-                        yield local_load(buf_hi[parity], block_bytes)
-                    yield compute((2 if paired else 1) * cycles_block,
-                                  l1_accesses=cycles_block // 2)
-                    yield local_store(buf_lo[parity], block_bytes)
+                    yield kernel(parity, paired).at()
                     yield dma_put(2 + parity, lo_addr, block_bytes)
                     if paired:
                         yield local_store(buf_hi[parity], block_bytes)
                         yield dma_put(2 + parity, lo_addr + stride_bytes,
                                       block_bytes)
-                yield dma_wait(2)
-                yield dma_wait(3)
+                # Tags 2/3 only exist once an even/odd iteration has put;
+                # waiting on a never-issued tag is an error.
+                if mine:
+                    issued_2 = True
+                    if len(mine) >= 2:
+                        issued_3 = True
+                if issued_2:
+                    yield dma_wait(2)
+                if issued_3:
+                    yield dma_wait(3)
                 yield barrier_wait(barrier)
 
         return Program("bitonic", [make_thread] * num_cores, arena)
@@ -355,40 +408,60 @@ class MergeSortWorkload(Workload):
         merge_line = params["merge_cycles_per_key"] * WORDS_PER_LINE
         out_store = pfs_store if params["pfs"] else store
 
+        # Phase-1 templates cover a whole chunk (load+sort sweep, then the
+        # writeback sweep), replayed per chunk with the chunk offset.
+        chunk_read = block(
+            *(op
+              for line in range(chunk_lines)
+              for op in (load(buf_a + line * LINE_BYTES, LINE_BYTES),
+                         compute(qsort_line, l1_accesses=qsort_line // 2))),
+            name="merge.qsort")
+        chunk_write = block(
+            *(store(buf_a + line * LINE_BYTES, LINE_BYTES)
+              for line in range(chunk_lines)),
+            name="merge.writeback")
+        # Phase-2 templates per level: the two input runs step one line
+        # per iteration while the output steps two, so the line is split
+        # into a consume block and an emit block with separate offsets.
+        merge_templates = []
+        level_src, level_dst = buf_a, buf_b
+        for level in range(levels):
+            level_run_bytes = (chunk_keys << level) * WORD_BYTES
+            consume = block(
+                load(level_src, LINE_BYTES),
+                load(level_src + level_run_bytes, LINE_BYTES),
+                compute(2 * merge_line, l1_accesses=merge_line),
+                name="merge.consume")
+            emit = block(
+                out_store(level_dst, LINE_BYTES),
+                out_store(level_dst + LINE_BYTES, LINE_BYTES),
+                name="merge.emit")
+            merge_templates.append((consume, emit))
+            level_src, level_dst = level_dst, level_src
+
         def make_thread(env: Env):
             core = env.core_id
             # Phase 1: quicksort chunks in place (cache-resident working set).
             start, count = partition(n_chunks, num_cores, core)
             for c in range(start, start + count):
-                chunk_base = buf_a + c * chunk_bytes
-                for line in range(chunk_lines):
-                    yield load(chunk_base + line * LINE_BYTES, LINE_BYTES)
-                    yield compute(qsort_line, l1_accesses=qsort_line // 2)
-                for line in range(chunk_lines):
-                    yield store(chunk_base + line * LINE_BYTES, LINE_BYTES)
+                offset = c * chunk_bytes
+                yield chunk_read.at(offset)
+                yield chunk_write.at(offset)
             yield barrier_wait(barrier)
             # Phase 2: merge runs with halving parallelism, ping-pong buffers.
-            src, dst = buf_a, buf_b
             for level in range(levels):
                 run_keys = chunk_keys << level
                 run_bytes = run_keys * WORD_BYTES
                 run_lines = run_bytes // LINE_BYTES
                 n_tasks = n_keys // (2 * run_keys)
+                consume, emit = merge_templates[level]
                 for task in range(core, n_tasks, num_cores):
-                    a_base = src + task * 2 * run_bytes
-                    b_base = a_base + run_bytes
-                    out_base = dst + task * 2 * run_bytes
+                    task_base = task * 2 * run_bytes
                     for line in range(run_lines):
                         # Consume one line from each run, emit two output lines.
-                        yield load(a_base + line * LINE_BYTES, LINE_BYTES)
-                        yield load(b_base + line * LINE_BYTES, LINE_BYTES)
-                        yield compute(2 * merge_line,
-                                      l1_accesses=merge_line)
-                        out = out_base + 2 * line * LINE_BYTES
-                        yield out_store(out, LINE_BYTES)
-                        yield out_store(out + LINE_BYTES, LINE_BYTES)
+                        yield consume.at(task_base + line * LINE_BYTES)
+                        yield emit.at(task_base + 2 * line * LINE_BYTES)
                 yield barrier_wait(barrier)
-                src, dst = dst, src
 
         return Program("merge", [make_thread] * num_cores, arena)
 
@@ -414,6 +487,34 @@ class MergeSortWorkload(Workload):
             buf_in_a = ls.alloc(block_bytes, "in_a")
             buf_in_b = ls.alloc(block_bytes, "in_b")
             buf_out = ls.alloc(2 * block_bytes, "out")
+            # Local-store kernels, cached per transfer size (the tail
+            # block of a chunk or run may be short).
+            sort_cache: dict[int, object] = {}
+            merge_cache: dict[int, object] = {}
+
+            def sort_kernel(size: int):
+                tmpl = sort_cache.get(size)
+                if tmpl is None:
+                    cycles = qsort_block * size // block_bytes
+                    tmpl = sort_cache[size] = block(
+                        local_load(buf_in_a, size),
+                        compute(cycles, l1_accesses=cycles // 2),
+                        local_store(buf_in_a, size),
+                        name="merge.sort_kernel")
+                return tmpl
+
+            def merge_kernel(size: int):
+                tmpl = merge_cache.get(size)
+                if tmpl is None:
+                    cycles = merge_block * size // block_bytes
+                    tmpl = merge_cache[size] = block(
+                        local_load(buf_in_a, size),
+                        local_load(buf_in_b, size),
+                        compute(2 * cycles, l1_accesses=cycles),
+                        local_store(buf_out, 2 * size),
+                        name="merge.merge_kernel")
+                return tmpl
+
             # Phase 1: sort chunks block by block inside the local store.
             start, count = partition(n_chunks, num_cores, core)
             for c in range(start, start + count):
@@ -422,16 +523,14 @@ class MergeSortWorkload(Workload):
                     size = min(block_bytes, chunk_bytes - off)
                     yield dma_get(0, chunk_base + off, size)
                     yield dma_wait(0)
-                    yield local_load(buf_in_a, size)
-                    yield compute(qsort_block * size // block_bytes,
-                                  l1_accesses=qsort_block * size // block_bytes // 2)
-                    yield local_store(buf_in_a, size)
+                    yield sort_kernel(size).at()
                     yield dma_put(1, chunk_base + off, size)
                 yield dma_wait(1)
             yield barrier_wait(barrier)
             # Phase 2: merges, double-buffered block I/O — the next pair of
             # input blocks streams in while the current one merges.
             src, dst = buf_a, buf_b
+            issued_2 = issued_3 = False
             for level in range(levels):
                 run_keys = chunk_keys << level
                 run_bytes = run_keys * WORD_BYTES
@@ -459,16 +558,20 @@ class MergeSortWorkload(Workload):
                     yield dma_wait(parity)
                     if i >= 2:
                         yield dma_wait(2 + parity)
-                    yield local_load(buf_in_a, size)
-                    yield local_load(buf_in_b, size)
-                    yield compute(2 * merge_block * size // block_bytes,
-                                  l1_accesses=merge_block * size // block_bytes)
-                    yield local_store(buf_out, 2 * size)
+                    yield merge_kernel(size).at()
                     out_base = dst + task * 2 * run_bytes
                     yield dma_put(2 + parity, out_base + 2 * blk * size,
                                   2 * size)
-                yield dma_wait(2)
-                yield dma_wait(3)
+                # Tags 2/3 only exist once an even/odd iteration has put;
+                # waiting on a never-issued tag is an error.
+                if work:
+                    issued_2 = True
+                    if len(work) >= 2:
+                        issued_3 = True
+                if issued_2:
+                    yield dma_wait(2)
+                if issued_3:
+                    yield dma_wait(3)
                 yield barrier_wait(barrier)
                 src, dst = dst, src
 

@@ -140,9 +140,9 @@ class TestDmaOps:
         assert p.instructions == cfg_cost
         assert p.useful_fs == cfg_cost * p.cycle_fs
 
-    def test_wait_on_unused_tag_is_noop(self):
-        p, _ = run_single([dma_wait(9)], model="str")
-        assert p.sync_fs == 0
+    def test_wait_on_unused_tag_raises(self):
+        with pytest.raises(SimulationError, match="never issued"):
+            run_single([dma_wait(9)], model="str")
 
 
 class TestAccounting:

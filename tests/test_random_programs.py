@@ -89,7 +89,13 @@ def run_random(op_specs_per_core, model):
         def thread(env):
             if env.local_store is not None:
                 env.local_store.alloc(LS_BYTES, "buf")
+            issued = set()
             for spec in specs:
+                if spec[0] in ("dget", "dput"):
+                    issued.add(spec[1])
+                elif spec[0] == "dwait" and spec[1] not in issued:
+                    # Waiting on a never-issued tag is a program error.
+                    continue
                 yield materialize(spec, base, env.local_store is not None)
             yield barrier_wait(barrier)
         return thread

@@ -51,7 +51,8 @@ def drain_ops(program, system, limit=50000):
     """Functionally execute the program's generators, yielding every op.
 
     Task pops are serviced from the real queue (so task-driven loops make
-    progress); barriers and locks are skipped (no timing here).
+    progress); barriers and locks are skipped (no timing here); op blocks
+    are expanded into the plain ops they replay.
     """
     emitted = 0
     for thread in program.threads(system):
@@ -65,6 +66,11 @@ def drain_ops(program, system, limit=50000):
             if op[0] == "pop":
                 queue = op[1]
                 value = queue._items.popleft() if queue._items else None
+                continue
+            if op[0] == "blk":
+                for sub in op[1].materialize(op[2]):
+                    emitted += 1
+                    yield sub
                 continue
             emitted += 1
             yield op
