@@ -4,10 +4,12 @@ Subcommands::
 
     check-protocol   exhaustively model-check MESI for 2..N caches
     lint             run the simulator-aware lint pass over source trees
+    audit-programs   statically audit workload op streams for races,
+                     DMA hazards, and block-replay eligibility
     monitor          run one workload with runtime invariant monitors on
 
-Exit status is non-zero when a check fails or the lint pass has
-findings, so each subcommand can gate CI directly.
+Exit status is non-zero when a check fails, the lint pass has findings,
+or the audit reports hazards, so each subcommand can gate CI directly.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.lint import lint_paths, render_findings
+from repro.analysis.lint import lint_paths, render_findings, rule_range
 from repro.analysis.model_check import BROKEN_TABLE_BUGS, run_full_check
 
 
@@ -36,11 +38,31 @@ def _build_parser() -> argparse.ArgumentParser:
                               "produce a counterexample trace")
 
     lint_p = sub.add_parser(
-        "lint", help="simulator-aware lint (REPRO001..REPRO005)")
+        "lint", help=f"simulator-aware lint ({rule_range()})")
     lint_p.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories (default: src/repro)")
     lint_p.add_argument("--json", action="store_true",
                         help="machine-readable JSON output")
+
+    audit_p = sub.add_parser(
+        "audit-programs",
+        help="static dataflow audit of workload op streams: races, "
+             "false sharing, DMA/local-store hazards, block eligibility")
+    audit_p.add_argument("workloads", nargs="*",
+                         help="workload names (default: all shipped)")
+    audit_p.add_argument("--models", nargs="+", default=["cc", "str"],
+                         choices=["cc", "str", "icc"],
+                         help="memory models to audit (default: cc str)")
+    audit_p.add_argument("--cores", nargs="+", type=int, default=[4],
+                         help="core counts to audit (default: 4)")
+    audit_p.add_argument("--preset", default="tiny",
+                         choices=["default", "small", "tiny"])
+    audit_p.add_argument("--json", action="store_true",
+                         help="machine-readable JSON output")
+    audit_p.add_argument("--expect-converted", metavar="NAMES",
+                         help="comma-separated workloads that must replay "
+                              "OpBlock templates in the cc mapping; exit "
+                              "non-zero when the audited set differs")
 
     mon_p = sub.add_parser(
         "monitor",
@@ -80,6 +102,38 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         print(render_findings(findings, as_json=args.json))
         return 1 if findings else 0
+
+    if args.command == "audit-programs":
+        from repro.analysis.dataflow import audit_workload, render_reports
+        from repro.workloads import workload_names
+
+        names = args.workloads or workload_names()
+        reports = []
+        for name in names:
+            for model in args.models:
+                for cores in args.cores:
+                    try:
+                        reports.append(audit_workload(
+                            name, model, cores=cores, preset=args.preset))
+                    except KeyError as exc:
+                        print(exc.args[0], file=sys.stderr)
+                        return 2
+        print(render_reports(reports, as_json=args.json))
+        status = 0
+        if any(r.hazards for r in reports):
+            status = 1
+        if args.expect_converted is not None:
+            expected = sorted({part.strip()
+                               for part in args.expect_converted.split(",")
+                               if part.strip()})
+            converted = sorted({r.workload for r in reports
+                                if r.model == "cc" and r.converted})
+            if converted != expected:
+                print(f"expect-converted mismatch: expected {expected}, "
+                      f"audited programs replay blocks in {converted}",
+                      file=sys.stderr)
+                status = 1
+        return status
 
     # monitor
     from repro import MachineConfig, get_workload

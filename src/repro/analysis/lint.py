@@ -30,7 +30,16 @@ REPRO006   no float arithmetic assigned to exact integer quantities:
            float contaminates every later timestamp.  Quantize
            explicitly (``round(...)`` / ``int(...)`` or the
            :mod:`repro.units` converters) or use ``//``
+REPRO007   no ``os.environ`` / ``os.getenv`` reads of ``REPRO_*``
+           escape hatches outside construction-time code: the
+           fastpath/blocks contract reads hatches once when the system
+           is built, so a mid-run read makes behaviour depend on when
+           the environment mutates — a determinism bug.  The sanctioned
+           construction-time readers carry suppression comments
 ========== ==========================================================
+
+A file that cannot be parsed is reported as a single ``REPRO000``
+finding rather than crashing the pass.
 
 Suppression: append ``# repro-lint: disable=REPRO001`` (comma-separate
 several ids, or ``disable=all``) to the offending line.  ``--json``
@@ -72,6 +81,31 @@ _INT_QUANTITY_RE = re.compile(r"(_fs|_cycles)$")
 
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Rule registry: id -> one-line summary.  Help text and documentation
+#: render from this table so they cannot drift when rules are added.
+#: REPRO000 is the parse-failure pseudo-rule, not part of the advertised
+#: range.
+RULES: dict[str, str] = {
+    "REPRO000": "file cannot be parsed (reported as a finding, not a crash)",
+    "REPRO001": "no wall-clock reads in simulator code",
+    "REPRO002": "no float equality against exact integer quantities",
+    "REPRO003": "physical-quantity attributes must name their unit",
+    "REPRO004": "no mutable default arguments",
+    "REPRO005": "no bare assert for invariant checks",
+    "REPRO006": "no float arithmetic assigned to integer clock quantities",
+    "REPRO007": "no mid-run reads of REPRO_* environment escape hatches",
+}
+
+
+def rule_range() -> str:
+    """The advertised rule range, e.g. ``"REPRO001..REPRO007"``.
+
+    Rendered from :data:`RULES` (excluding the REPRO000 pseudo-rule) so
+    CLI help and docs can never drift from the implementation.
+    """
+    numbered = sorted(rule for rule in RULES if rule != "REPRO000")
+    return f"{numbered[0]}..{numbered[-1]}"
 
 
 @dataclass(frozen=True)
@@ -186,6 +220,34 @@ class _Visitor(ast.NodeVisitor):
                 self._add(node, "REPRO001",
                           f"wall-clock call {dotted}() in simulator code; "
                           "simulated time must come from the event kernel")
+        self._check_env_call(node, parts)
+        self.generic_visit(node)
+
+    # REPRO007 ---------------------------------------------------------
+    def _flag_env_read(self, node: ast.AST, key: str) -> None:
+        self._add(node, "REPRO007",
+                  f"environment escape hatch {key!r} read here; hatches "
+                  "are read once at system construction — accept the "
+                  "resolved value as a parameter instead")
+
+    def _check_env_call(self, node: ast.Call, parts: list[str]) -> None:
+        attr = parts[-1] if parts else ""
+        is_env_read = attr == "getenv" or (
+            attr == "get" and len(parts) >= 2 and parts[-2] == "environ")
+        if not is_env_read or not node.args:
+            return
+        first = node.args[0]
+        if (isinstance(first, ast.Constant) and isinstance(first.value, str)
+                and first.value.startswith("REPRO_")):
+            self._flag_env_read(node, first.value)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        dotted = _dotted_name(node.value)
+        if dotted.split(".")[-1] == "environ":
+            key = node.slice
+            if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    and key.value.startswith("REPRO_")):
+                self._flag_env_read(node, key.value)
         self.generic_visit(node)
 
     # REPRO002 ---------------------------------------------------------
@@ -343,8 +405,17 @@ def _suppressed(finding: Finding, source_lines: list[str]) -> bool:
 
 
 def lint_source(source: str, path: str = "<string>") -> list[Finding]:
-    """Lint one Python source string; returns unsuppressed findings."""
-    tree = ast.parse(source, filename=path)
+    """Lint one Python source string; returns unsuppressed findings.
+
+    An unparseable file yields one ``REPRO000`` finding rather than
+    raising, so one broken file cannot crash a whole-tree lint run.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 1, (exc.offset or 1) - 1,
+                        "REPRO000",
+                        f"file cannot be parsed: {exc.msg}")]
     visitor = _Visitor(path)
     visitor.visit(tree)
     lines = source.splitlines()

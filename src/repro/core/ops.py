@@ -275,6 +275,132 @@ _KNOWN_OPS = _ARITH_OPS | _ADDR2_OPS | frozenset({
 })
 
 
+def merge_intervals(intervals: list) -> tuple:
+    """Merge half-open byte intervals ``[(start, end), ...]``.
+
+    Returns the equivalent sorted tuple of disjoint, non-adjacent
+    intervals — the canonical form used by footprints and the static
+    dataflow auditor (:mod:`repro.analysis.dataflow`).
+    """
+    if not intervals:
+        return ()
+    intervals = sorted(intervals)
+    out = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = out[-1]
+        if start <= last_end:
+            if end > last_end:
+                out[-1] = (last_start, end)
+        else:
+            out.append((start, end))
+    return tuple(out)
+
+
+class BlockFootprint:
+    """The byte-granular address footprint of one block replay at delta 0.
+
+    All cached-memory intervals are *relative*: a replay via
+    ``template.at(delta)`` touches every interval shifted by ``delta``.
+    Local-store intervals are absolute (the replay offset never shifts
+    them).  Intervals are half-open ``(start, end)`` byte ranges, merged
+    and sorted; DMA commands are kept un-merged because a strided
+    transfer is not an interval.
+
+    Computed once per template by :meth:`OpBlock.footprint` and cached —
+    the static auditor replays hot-loop blocks by shifting these
+    intervals instead of re-walking the ops.
+    """
+
+    __slots__ = ("reads", "writes", "ls_reads", "ls_writes",
+                 "dma_gets", "dma_puts", "wait_tags", "arith_only")
+
+    def __init__(self, ops: tuple, arith_only: bool) -> None:
+        reads: list = []
+        writes: list = []
+        ls_reads: list = []
+        ls_writes: list = []
+        dma_gets: list = []
+        dma_puts: list = []
+        wait_tags: list = []
+        for op in ops:
+            kind = op[0]
+            if kind == OP_LOAD or kind == OP_BULK_PREFETCH:
+                reads.append((op[1], op[1] + op[2]))
+            elif kind == OP_STORE or kind == OP_PFS:
+                writes.append((op[1], op[1] + op[2]))
+            elif kind == OP_LOCAL_LOAD:
+                ls_reads.append((op[1], op[1] + op[2]))
+            elif kind == OP_LOCAL_STORE:
+                ls_writes.append((op[1], op[1] + op[2]))
+            elif kind == OP_DMA_GET:
+                dma_gets.append(op[1:])
+            elif kind == OP_DMA_PUT:
+                dma_puts.append(op[1:])
+            elif kind == OP_DMA_WAIT:
+                wait_tags.append(op[1])
+        #: Merged relative ``(start, end)`` cached-read intervals
+        #: (loads and bulk prefetches).
+        self.reads = merge_intervals(reads)
+        #: Merged relative cached-write intervals (stores and PFS stores).
+        self.writes = merge_intervals(writes)
+        #: Absolute local-store read/write intervals, sorted but NOT
+        #: merged: adjacent accesses may target adjacent allocations,
+        #: and merging across an allocation boundary would turn two
+        #: valid accesses into one apparent straddle.
+        self.ls_reads = tuple(sorted(ls_reads))
+        self.ls_writes = tuple(sorted(ls_writes))
+        #: DMA commands as raw ``(tag, addr, nbytes, stride, block)``.
+        self.dma_gets = tuple(dma_gets)
+        self.dma_puts = tuple(dma_puts)
+        #: Tags waited on inside the block.
+        self.wait_tags = tuple(wait_tags)
+        #: True when the block is pure compute + cached/local accesses —
+        #: exactly the blocks the closed-form interpreter can retire.
+        self.arith_only = arith_only
+
+    def line_bytes_touched(self, line_bytes: int) -> int:
+        """Cache bytes one replay occupies: touched lines × line size."""
+        lines = 0
+        for start, end in self.reads + self.writes:
+            lines += (end - 1) // line_bytes - start // line_bytes + 1
+        return lines * line_bytes
+
+    def self_conflict(self, stride: int, iterations: int = 2) -> bool:
+        """True if replays at consecutive multiples of ``stride`` conflict.
+
+        A conflict is a write of one iteration overlapping a read or
+        write of another — the cross-iteration dependence that disquali-
+        fies a loop from independent per-iteration treatment.  ``stride``
+        0 (revisiting the same footprint, e.g. a timestep sweep) is the
+        *resident* replay case and never a conflict.
+        """
+        if stride == 0:
+            return False
+        for k in range(1, iterations + 1):
+            shift = k * stride
+            shifted = [(s + shift, e + shift) for s, e in self.writes]
+            if (_intervals_overlap(shifted, self.reads)
+                    or _intervals_overlap(shifted, self.writes)
+                    or _intervals_overlap(
+                        [(s + shift, e + shift) for s, e in self.reads],
+                        self.writes)):
+                return True
+        return False
+
+
+def _intervals_overlap(a, b) -> bool:
+    """True if any interval of sorted-disjoint lists ``a``/``b`` overlap."""
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i][1] <= b[j][0]:
+            i += 1
+        elif b[j][1] <= a[i][0]:
+            j += 1
+        else:
+            return True
+    return False
+
+
 class _BlockGeometry:
     """Per-``line_shift`` cache-line view of a block (closed-form data).
 
@@ -356,13 +482,14 @@ class OpBlock:
         "ops", "name", "min_addr", "arith_cycles", "prefix_cycles",
         "instructions", "word_accesses", "local_accesses",
         "ls_reads", "ls_read_accesses", "ls_writes", "ls_write_accesses",
-        "ls_max_end", "has_local", "_geometries",
+        "ls_max_end", "has_local", "_geometries", "_footprint",
     )
 
     def __init__(self, ops: tuple, name: str | None) -> None:
         self.ops = ops
         self.name = name
         self._geometries: dict[int, _BlockGeometry] = {}
+        self._footprint: BlockFootprint | None = None
 
         min_addr = None
         arith = True
@@ -449,6 +576,19 @@ class OpBlock:
             geom = self._geometries[line_shift] = _BlockGeometry(
                 self.ops, line_shift)
         return geom
+
+    def footprint(self) -> BlockFootprint:
+        """The (cached) byte-interval footprint of one replay at delta 0.
+
+        See :class:`BlockFootprint` — the static dataflow auditor
+        (:mod:`repro.analysis.dataflow`) shifts these intervals per
+        replay instead of re-walking the block's ops.
+        """
+        fp = self._footprint
+        if fp is None:
+            fp = self._footprint = BlockFootprint(
+                self.ops, self.arith_cycles is not None)
+        return fp
 
     def materialize(self, delta: int, start: int = 0) -> list:
         """The plain per-op stream this block stands for, from ``start``.

@@ -45,7 +45,9 @@ def resolve_store(path: str | None = None,
     """The store for this invocation (None when storing is disabled)."""
     if no_store:
         return None
-    root = path or os.environ.get("REPRO_STORE") or DEFAULT_STORE
+    # Sanctioned read: resolved once per CLI invocation, before any run.
+    env_root = os.environ.get("REPRO_STORE")  # repro-lint: disable=REPRO007
+    root = path or env_root or DEFAULT_STORE
     return ResultStore(root)
 
 

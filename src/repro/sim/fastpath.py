@@ -42,9 +42,13 @@ _OFF_VALUES = frozenset({"0", "false", "off", "no"})
 
 def fastpath_enabled() -> bool:
     """True unless ``REPRO_FASTPATH`` is set to 0/false/off/no."""
-    return os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in _OFF_VALUES
+    # Sanctioned construction-time read: the hierarchy resolves this once
+    # when the system is built, never mid-run.
+    raw = os.environ.get("REPRO_FASTPATH", "1")  # repro-lint: disable=REPRO007
+    return raw.strip().lower() not in _OFF_VALUES
 
 
 def blocks_enabled() -> bool:
     """True unless ``REPRO_BLOCKS`` is set to 0/false/off/no."""
-    return os.environ.get("REPRO_BLOCKS", "1").strip().lower() not in _OFF_VALUES
+    raw = os.environ.get("REPRO_BLOCKS", "1")  # repro-lint: disable=REPRO007
+    return raw.strip().lower() not in _OFF_VALUES

@@ -105,6 +105,45 @@ class Program:
             for core_id, factory in enumerate(self.factories)
         ]
 
+    def introspect_threads(self, config: MachineConfig,
+                           local_stores: list | None = None
+                           ) -> list[Iterator[tuple]]:
+        """Bind the program for symbolic inspection — no simulator needed.
+
+        Instantiates one generator per core against a stand-in system
+        that exposes only what :class:`Env` reads: ``config`` and
+        per-core local stores.  ``local_stores`` must supply one object
+        per core implementing the :class:`~repro.mem.local_store.
+        LocalStore` allocation surface (``alloc``/``reset``/
+        ``allocated_bytes``) for streaming programs; cache-coherent
+        programs pass ``None`` and bind with ``env.local_store`` None,
+        exactly as on a real CC hierarchy.
+
+        The static dataflow auditor (:mod:`repro.analysis.dataflow`)
+        walks these generators to extract address footprints without
+        charging any time.
+        """
+        return self.threads(IntrospectionSystem(config, local_stores))
+
+
+class IntrospectionSystem:
+    """A stand-in for :class:`~repro.core.system.CmpSystem` at bind time.
+
+    Thread factories only dereference ``system.config`` and
+    ``system.hierarchy.local_stores`` (via :class:`Env`); this object
+    provides exactly those, so programs can be instantiated and walked
+    symbolically without building caches, DMA engines, or a simulator.
+    """
+
+    class _Hierarchy:
+        def __init__(self, local_stores: list | None) -> None:
+            self.local_stores = local_stores
+
+    def __init__(self, config: MachineConfig,
+                 local_stores: list | None = None) -> None:
+        self.config = config
+        self.hierarchy = IntrospectionSystem._Hierarchy(local_stores)
+
 
 @dataclass(frozen=True)
 class WorkloadParams:

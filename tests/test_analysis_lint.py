@@ -7,8 +7,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.lint import (Finding, lint_paths, lint_source,
-                                 render_findings)
+from repro.analysis.lint import (RULES, Finding, lint_paths, lint_source,
+                                 render_findings, rule_range)
 
 REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 
@@ -172,6 +172,20 @@ class TestSuppression:
                "# repro-lint: disable=REPRO002, REPRO005\n")
         assert rules_of(src) == []
 
+    def test_multiple_ids_without_spaces(self):
+        # The exact comma-joined form from the docs: no space after the
+        # comma, two different rules on one line.
+        src = ("import time\n"
+               "def f(x=[]):  # repro-lint: disable=REPRO001,REPRO004\n"
+               "    return time.time()  # repro-lint: disable=REPRO001\n")
+        assert rules_of(src) == []
+
+    def test_partial_multi_id_list_keeps_other_findings(self):
+        src = ("def f(done_fs, x=[]):  "
+               "# repro-lint: disable=REPRO004,REPRO001\n"
+               "    assert done_fs == 1.5\n")
+        assert sorted(rules_of(src)) == ["REPRO002", "REPRO005"]
+
 
 class TestOutputAndPaths:
     def test_findings_render_as_file_line(self):
@@ -221,3 +235,112 @@ class TestShippedTreeIsClean:
         assert dirty.returncode == 1
         assert "REPRO004" in dirty.stdout
         assert f"{bad}:1:" in dirty.stdout or "bad.py:1:" in dirty.stdout
+
+
+class TestEnvEscapeHatchRule:
+    def test_os_getenv_repro_flagged(self):
+        src = "import os\nv = os.getenv('REPRO_FASTPATH')\n"
+        assert rules_of(src) == ["REPRO007"]
+
+    def test_os_environ_get_repro_flagged(self):
+        src = "import os\nv = os.environ.get('REPRO_BLOCKS', '1')\n"
+        assert rules_of(src) == ["REPRO007"]
+
+    def test_os_environ_subscript_repro_flagged(self):
+        src = "import os\nv = os.environ['REPRO_STORE']\n"
+        assert rules_of(src) == ["REPRO007"]
+
+    def test_non_repro_key_allowed(self):
+        src = ("import os\n"
+               "a = os.getenv('HOME')\n"
+               "b = os.environ.get('PATH')\n"
+               "c = os.environ['LANG']\n")
+        assert rules_of(src) == []
+
+    def test_dynamic_key_allowed(self):
+        # Only string-literal keys are decidable; a computed key is the
+        # caller's problem.
+        src = "import os\nname = 'REPRO_X'\nv = os.environ.get(name)\n"
+        assert rules_of(src) == []
+
+    def test_message_points_at_construction_time(self):
+        src = "import os\nv = os.getenv('REPRO_FASTPATH')\n"
+        finding = lint_source(src)[0]
+        assert "construction" in finding.message
+
+    def test_suppressible(self):
+        src = ("import os\n"
+               "v = os.getenv('REPRO_X')  # repro-lint: disable=REPRO007\n")
+        assert rules_of(src) == []
+
+    def test_sanctioned_readers_in_tree_are_suppressed(self):
+        # The three sanctioned construction-time readers carry inline
+        # suppressions; nothing else in the tree reads REPRO_* ad hoc.
+        findings = lint_paths([REPO_SRC])
+        assert [f for f in findings if f.rule == "REPRO007"] == []
+
+
+class TestSyntaxErrorHandling:
+    BROKEN = "def f(:\n    pass\n"
+
+    def test_lint_source_reports_repro000(self):
+        findings = lint_source(self.BROKEN, "broken.py")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "REPRO000"
+        assert finding.path == "broken.py"
+        assert "cannot be parsed" in finding.message
+
+    def test_lint_paths_does_not_crash(self, tmp_path):
+        (tmp_path / "broken.py").write_text(self.BROKEN)
+        (tmp_path / "fine.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        findings = lint_paths([tmp_path])
+        assert sorted(f.rule for f in findings) == ["REPRO000", "REPRO001"]
+
+    def test_cli_reports_and_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text(self.BROKEN)
+        env_src = str(REPO_SRC.parents[0])
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "lint", str(bad)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 1
+        assert "REPRO000" in proc.stdout
+
+
+class TestJsonSchema:
+    def test_every_field_present_and_typed(self):
+        src = "import time\nt = time.time()\nassert t\n"
+        payload = json.loads(render_findings(lint_source(src, "x.py"),
+                                             as_json=True))
+        assert set(payload) == {"count", "findings"}
+        assert payload["count"] == len(payload["findings"]) == 2
+        for entry in payload["findings"]:
+            assert set(entry) == {"path", "line", "col", "rule", "message"}
+            assert isinstance(entry["line"], int)
+            assert isinstance(entry["col"], int)
+            assert entry["path"] == "x.py"
+            assert entry["rule"].startswith("REPRO")
+
+    def test_empty_findings_json(self):
+        payload = json.loads(render_findings([], as_json=True))
+        assert payload == {"count": 0, "findings": []}
+
+
+class TestRuleRegistry:
+    def test_registry_covers_known_rules(self):
+        assert set(RULES) == {f"REPRO00{i}" for i in range(8)}
+
+    def test_rule_range_excludes_the_parse_pseudo_rule(self):
+        assert rule_range() == "REPRO001..REPRO007"
+
+    def test_cli_help_renders_the_range(self):
+        env_src = str(REPO_SRC.parents[0])
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--help"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0
+        assert "REPRO001..REPRO007" in proc.stdout
