@@ -9,6 +9,7 @@ Usage::
     python -m repro all --preset small --jobs 4
     python -m repro analysis check-protocol
     python -m repro grid sweep figure2 table3 --preset tiny --jobs 4
+    python -m repro serve start --socket .repro-serve.sock --jobs 4
     python -m repro perf bench --preset tiny --jobs 2
     python -m repro run fir --model cc --cores 1 --preset tiny --cprofile
 
@@ -131,6 +132,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "see 'python -m repro obs --help'")
     obs_p.add_argument("obs_args", nargs=argparse.REMAINDER,
                        help="arguments forwarded to repro.obs")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service server and clients over the "
+             "result store; see 'python -m repro serve --help'")
+    serve_p.add_argument("serve_args", nargs=argparse.REMAINDER,
+                         help="arguments forwarded to repro.serve")
     return parser
 
 
@@ -190,6 +198,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(args.obs_args)
+    if args.command == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(args.serve_args)
     if args.command == "list":
         for name in workload_names():
             print(name)

@@ -7,6 +7,7 @@ Usage::
     python -m repro grid plan figure2 --preset tiny
     python -m repro grid info
     python -m repro grid clear --failed
+    python -m repro grid compact [--failed]
 
 ``sweep`` regenerates the named experiments (default: every one) by
 planning their deduplicated run set, executing the misses on a worker
@@ -216,6 +217,12 @@ def _cmd_info(args) -> int:
     print(f"records    : {stats['records']} "
           f"({stats['ok']} ok, {stats['failed']} failed)")
     print(f"size       : {stats['size_bytes'] / 1024:.1f} KiB")
+    print(f"series     : {stats['series']} sidecar(s), "
+          f"{stats['series_bytes'] / 1024:.1f} KiB")
+    if stats["corrupt"]:
+        print(f"corrupt    : {stats['corrupt']} quarantined file(s), "
+              f"{stats['corrupt_bytes'] / 1024:.1f} KiB "
+              f"(reclaim with 'grid compact')")
     return 0
 
 
@@ -224,6 +231,21 @@ def _cmd_clear(args) -> int:
     removed = store.clear(failed_only=args.failed)
     what = "failed record(s)" if args.failed else "record(s)"
     print(f"removed {removed} {what} from {store.root}")
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    store = resolve_store(args.store)
+    summary = store.compact(drop_failed=args.failed)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"compacted {store.root}: removed {summary['removed']} file(s) "
+          f"({summary['corrupt']} quarantined, {summary['stale']} "
+          f"version-stale, {summary['failed']} failed, "
+          f"{summary['orphaned_series']} orphaned series), "
+          f"kept {summary['kept']} record(s), reclaimed "
+          f"{summary['reclaimed_bytes'] / 1024:.1f} KiB")
     return 0
 
 
@@ -279,6 +301,14 @@ def _build_parser() -> argparse.ArgumentParser:
     clear.add_argument("--store", metavar="PATH")
     clear.add_argument("--failed", action="store_true",
                        help="only delete failure records")
+
+    compact = sub.add_parser(
+        "compact", help="garbage-collect quarantined, version-stale, and "
+                        "orphaned store files")
+    compact.add_argument("--store", metavar="PATH")
+    compact.add_argument("--failed", action="store_true",
+                         help="also drop recorded failures")
+    compact.add_argument("--json", action="store_true")
     return parser
 
 
@@ -286,7 +316,8 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro grid`` / ``python -m repro.grid``."""
     args = _build_parser().parse_args(argv)
     handler = {"sweep": _cmd_sweep, "plan": _cmd_plan,
-               "info": _cmd_info, "clear": _cmd_clear}[args.command]
+               "info": _cmd_info, "clear": _cmd_clear,
+               "compact": _cmd_compact}[args.command]
     return handler(args)
 
 

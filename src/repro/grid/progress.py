@@ -132,15 +132,13 @@ class Progress:
             print(f"\r\x1b[2K{self.render()}", end="",
                   file=self.stream, flush=True)
 
-    def emit_jsonl(self, event: str, **extra) -> None:
-        """Write one progress event as a JSON line (when streaming).
+    def event_payload(self, event: str, **extra) -> dict:
+        """One progress event as a JSON-safe dict (counters snapshot).
 
-        Each line is flushed immediately: the consumer is typically a
-        pipe (``--progress-json -``), and block buffering would hold
-        every event back until process exit, defeating live monitoring.
+        Shared by :meth:`emit_jsonl` and the serve server's ``progress``
+        frames, so a ``--progress-json -`` consumer and a ``repro serve
+        watch`` subscriber read the same schema.
         """
-        if self.jsonl is None:
-            return
         payload = {
             "event": event,
             "completed": self.completed,
@@ -151,6 +149,18 @@ class Progress:
             "retries": self.retries,
         }
         payload.update(extra)
+        return payload
+
+    def emit_jsonl(self, event: str, **extra) -> None:
+        """Write one progress event as a JSON line (when streaming).
+
+        Each line is flushed immediately: the consumer is typically a
+        pipe (``--progress-json -``), and block buffering would hold
+        every event back until process exit, defeating live monitoring.
+        """
+        if self.jsonl is None:
+            return
+        payload = self.event_payload(event, **extra)
         self.jsonl.write(json.dumps(payload, sort_keys=True) + "\n")
         self.jsonl.flush()
 

@@ -30,8 +30,10 @@ simulated time); those lines carry REPRO001 lint exemptions.
 
 from __future__ import annotations
 
+import ctypes
 import os
 import signal
+import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -56,6 +58,44 @@ def _alarm(_signum, _frame):
     raise _RunTimeout()
 
 
+class _DeadlineWatchdog:
+    """Thread-safe per-run deadline for non-main-thread execution.
+
+    ``signal.setitimer`` only works on the main thread of the main
+    interpreter; when a run executes on a worker *thread* (the serve
+    server's in-process fallback, or any embedding that calls
+    :func:`_execute_in_worker` off the main thread), a daemon timer
+    instead injects :class:`_RunTimeout` into the running thread via
+    ``PyThreadState_SetAsyncExc``.  Delivery happens at the next
+    bytecode boundary — a run blocked inside a single C call is only
+    interrupted when it returns to Python — so this is a deadline
+    guard, not hard preemption; the pure-Python simulator crosses
+    bytecode boundaries constantly, which is what makes it effective.
+    """
+
+    def __init__(self, timeout_s: float) -> None:
+        self._thread_id = threading.get_ident()
+        self._timer = threading.Timer(timeout_s, self._fire)
+        self._timer.daemon = True
+        self.fired = False
+
+    def start(self) -> None:
+        self._timer.start()
+
+    def _fire(self) -> None:
+        self.fired = True
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_long(self._thread_id), ctypes.py_object(_RunTimeout))
+
+    def cancel(self) -> None:
+        self._timer.cancel()
+        if self.fired:
+            # Withdraw an injected-but-undelivered exception so it can
+            # never surface later inside unrelated code on this thread.
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_long(self._thread_id), None)
+
+
 def _execute_in_worker(spec: RunSpec, timeout_s: float | None,
                        series_interval_fs: int | None = None) -> dict:
     """Worker entry point: run one spec, never raise.
@@ -64,7 +104,9 @@ def _execute_in_worker(spec: RunSpec, timeout_s: float | None,
     (plus ``"series"`` when series sampling was requested) or
     ``{"ok": False, "kind": "exception"|"timeout", "message": ...}``.
     The per-run timeout is enforced with ``SIGITIMER`` inside the worker
-    so a runaway simulation cannot wedge its pool slot forever.
+    so a runaway simulation cannot wedge its pool slot forever; when the
+    run executes off the main thread (where ``SIGALRM`` is unusable) a
+    :class:`_DeadlineWatchdog` enforces the same deadline instead.
     """
     hooks = {k: (spec.overrides or {}).get(k) for k in _HOOK_KEYS}
     if any(hooks.values()):
@@ -74,14 +116,23 @@ def _execute_in_worker(spec: RunSpec, timeout_s: float | None,
         if hooks["_grid_kill_worker"]:
             os._exit(13)  # simulate a worker killed mid-run
     start = time.perf_counter()  # repro-lint: disable=REPRO001
-    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
+    use_alarm = (timeout_s is not None and hasattr(signal, "SIGALRM")
+                 and threading.current_thread() is threading.main_thread())
+    watchdog = None
     if use_alarm:
         previous = signal.signal(signal.SIGALRM, _alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    elif timeout_s is not None:
+        watchdog = _DeadlineWatchdog(timeout_s)
+        watchdog.start()
     series = None
     try:
         if hooks["_grid_sleep_s"]:
-            time.sleep(float(hooks["_grid_sleep_s"]))
+            # Sleep in slices so an injected deadline exception (which
+            # only lands between bytecodes) is delivered promptly.
+            deadline = time.monotonic() + float(hooks["_grid_sleep_s"])  # repro-lint: disable=REPRO001
+            while time.monotonic() < deadline:  # repro-lint: disable=REPRO001
+                time.sleep(0.02)
         if hooks["_grid_raise"]:
             raise RuntimeError(str(hooks["_grid_raise"]))
         if series_interval_fs is not None:
@@ -101,6 +152,8 @@ def _execute_in_worker(spec: RunSpec, timeout_s: float | None,
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, previous)
+        if watchdog is not None:
+            watchdog.cancel()
     payload = {"ok": True, "result": result.to_dict(),
                "wall_s": time.perf_counter() - start}  # repro-lint: disable=REPRO001
     if series is not None:
@@ -115,10 +168,38 @@ class RunOutcome:
     spec: RunSpec
     key: str
     status: str                    # "ok" | "failed"
-    source: str                    # "store" | "run"
+    source: str                    # "store" | "run" | "shared"
     result: RunResult | None = None
     failure: FailedRun | None = None
     wall_s: float | None = None
+
+
+def outcome_from_payload(spec: RunSpec, key: str, payload: dict,
+                         attempts: int,
+                         store: ResultStore | None) -> RunOutcome:
+    """Record a final worker payload in the store and settle the outcome.
+
+    This is the single source of truth for turning an
+    :func:`_execute_in_worker` payload into a durable record plus a
+    :class:`RunOutcome` — shared by the batch scheduler and the serve
+    server so both persist exactly the same records.  Retry decisions
+    are the caller's; by the time a payload reaches here it is final.
+    """
+    wall_s = payload.get("wall_s")
+    if payload["ok"]:
+        result = RunResult.from_dict(payload["result"])
+        if store is not None:
+            store.put(spec, result, wall_s=wall_s)
+            if payload.get("series") is not None:
+                store.put_series(key, payload["series"])
+        return RunOutcome(spec, key, "ok", "run", result=result,
+                          wall_s=wall_s)
+    failure = FailedRun(key=key, label=spec.label(), kind=payload["kind"],
+                        message=payload["message"], attempts=attempts)
+    if store is not None:
+        store.put(spec, failure, wall_s=wall_s)
+    return RunOutcome(spec, key, "failed", "run", failure=failure,
+                      wall_s=wall_s)
 
 
 class GridScheduler:
@@ -211,29 +292,19 @@ class GridScheduler:
     def _settle(self, key, spec, payload, attempts, executor, futures,
                 progress) -> RunOutcome | None:
         """Turn a worker payload into an outcome (or schedule a retry)."""
-        if payload["ok"]:
-            result = RunResult.from_dict(payload["result"])
-            wall_s = payload.get("wall_s")
-            if self.store is not None:
-                self.store.put(spec, result, wall_s=wall_s)
-                if payload.get("series") is not None:
-                    self.store.put_series(key, payload["series"])
-            progress.on_done(wall_s=wall_s)
-            return RunOutcome(spec, key, "ok", "run", result=result,
-                              wall_s=wall_s)
-        if payload["kind"] == "exception" and attempts[key] <= self.retries:
+        if not payload["ok"] and payload["kind"] == "exception" \
+                and attempts[key] <= self.retries:
             attempts[key] += 1
             progress.on_retry()
             futures[executor.submit(
                 _execute_in_worker, spec, self.timeout_s,
                 self.series_interval_fs)] = (key, spec)
             return None
-        failure = FailedRun(key=key, label=spec.label(),
-                            kind=payload["kind"],
-                            message=payload["message"],
-                            attempts=attempts[key])
-        return self._record_failure(spec, failure, payload.get("wall_s"),
-                                    progress)
+        outcome = outcome_from_payload(spec, key, payload, attempts[key],
+                                       self.store)
+        progress.on_done(wall_s=outcome.wall_s,
+                         failed=outcome.status == "failed")
+        return outcome
 
     def _run_isolated(self, key, spec, progress) -> RunOutcome:
         """Re-run one spec in its own single-worker pool.
@@ -258,21 +329,10 @@ class GridScheduler:
                 return self._record_failure(spec, failure, None, progress)
         finally:
             isolated.shutdown(wait=False, cancel_futures=True)
-        if payload["ok"]:
-            result = RunResult.from_dict(payload["result"])
-            wall_s = payload.get("wall_s")
-            if self.store is not None:
-                self.store.put(spec, result, wall_s=wall_s)
-                if payload.get("series") is not None:
-                    self.store.put_series(key, payload["series"])
-            progress.on_done(wall_s=wall_s)
-            return RunOutcome(spec, key, "ok", "run", result=result,
-                              wall_s=wall_s)
-        failure = FailedRun(key=key, label=spec.label(),
-                            kind=payload["kind"], message=payload["message"],
-                            attempts=2)
-        return self._record_failure(spec, failure, payload.get("wall_s"),
-                                    progress)
+        outcome = outcome_from_payload(spec, key, payload, 2, self.store)
+        progress.on_done(wall_s=outcome.wall_s,
+                         failed=outcome.status == "failed")
+        return outcome
 
     def _record_failure(self, spec, failure, wall_s, progress) -> RunOutcome:
         if self.store is not None:
@@ -366,4 +426,4 @@ def replay_cache(outcomes) -> MemoryCache:
 
 
 __all__ = ["GridScheduler", "RunOutcome", "PlanCache", "plan",
-           "replay_cache"]
+           "replay_cache", "outcome_from_payload"]

@@ -14,6 +14,17 @@ leave a half-written record; unreadable or truncated records are treated
 as cache misses and quarantined out of the way rather than aborting the
 sweep.
 
+Multi-writer rules: one store root may be shared by any number of
+processes — several CLI sweeps, one or more ``repro serve`` servers, or
+a mix.  Atomic replace already guarantees readers never observe a torn
+record; on top of that, every *mutating* operation (``put_record``,
+``put_series``, ``clear``, ``compact``) additionally holds a
+cross-process advisory file lock (``<root>/.lock``), so maintenance
+operations cannot interleave with writes and two writers of the same
+key serialize cleanly (last write wins, both are valid records).  Reads
+take no lock.  On platforms without ``fcntl`` the lock degrades to a
+no-op and the atomic-replace guarantees still hold.
+
 The cache interface consumed by :class:`~repro.harness.runner.Runner`
 is three methods (``get`` / ``put`` / ``describe``) implemented by
 
@@ -30,9 +41,49 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 from repro.grid import keys
 from repro.grid.spec import RunSpec
 from repro.results import RunResult
+
+
+class _StoreLock:
+    """Advisory, cross-process exclusive lock over one store root.
+
+    Backed by ``flock`` on ``<root>/.lock``; re-entrant within one
+    :class:`ResultStore` instance (``compact`` calls locked helpers).
+    Degrades to a no-op where ``fcntl`` is unavailable — the store then
+    falls back to pure atomic-replace semantics.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self._path = root / ".lock"
+        self._handle = None
+        self._depth = 0
+
+    def __enter__(self) -> "_StoreLock":
+        if fcntl is None:
+            return self
+        if self._depth == 0:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self._path, "a+")
+            fcntl.flock(self._handle, fcntl.LOCK_EX)
+        self._depth += 1
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        if fcntl is None:
+            return False
+        self._depth -= 1
+        if self._depth == 0 and self._handle is not None:
+            fcntl.flock(self._handle, fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None
+        return False
 
 
 @dataclass(frozen=True)
@@ -77,9 +128,26 @@ class ResultStore:
     def __init__(self, root) -> None:
         self.root = Path(root)
         self._objects = self.root / "objects"
+        self._lock = _StoreLock(self.root)
 
     def _path(self, key: str) -> Path:
         return self._objects / key[:2] / f"{key}.json"
+
+    def _atomic_write(self, path: Path, payload: dict) -> None:
+        """Write ``payload`` as JSON via temp file + rename."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     # -- raw record access ---------------------------------------------
 
@@ -102,21 +170,9 @@ class ResultStore:
         return record
 
     def put_record(self, record: dict) -> None:
-        """Atomically write one record (temp file + rename)."""
-        path = self._path(record["key"])
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(record, handle, sort_keys=True)
-                handle.write("\n")
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        """Atomically write one record (locked; temp file + rename)."""
+        with self._lock:
+            self._atomic_write(self._path(record["key"]), record)
 
     def _quarantine(self, path: Path) -> None:
         """Move an unreadable record aside so it stops shadowing the key."""
@@ -172,20 +228,8 @@ class ResultStore:
         content key; the distinct suffix keeps :meth:`records` and
         :meth:`clear` semantics untouched.
         """
-        path = self._series_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(series, handle, sort_keys=True)
-                handle.write("\n")
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        with self._lock:
+            self._atomic_write(self._series_path(key), series)
 
     def get_series(self, key: str) -> dict | None:
         """The stored series sidecar for ``key``, or None."""
@@ -213,7 +257,7 @@ class ResultStore:
                 yield record
 
     def stats(self) -> dict:
-        """Record counts and on-disk footprint."""
+        """Record counts and on-disk footprint (records, sidecars, corrupt)."""
         ok = failed = size_bytes = 0
         for record in self.records():
             if record["status"] == "ok":
@@ -221,34 +265,124 @@ class ResultStore:
             else:
                 failed += 1
             size_bytes += self._path(record["key"]).stat().st_size
+        series = series_bytes = corrupt = corrupt_bytes = 0
+        if self._objects.is_dir():
+            for path in self._objects.glob("*/*.series.json"):
+                series += 1
+                series_bytes += path.stat().st_size
+            for path in self._objects.glob("*/*.corrupt"):
+                corrupt += 1
+                corrupt_bytes += path.stat().st_size
         return {"root": str(self.root), "ok": ok, "failed": failed,
-                "records": ok + failed, "size_bytes": size_bytes}
+                "records": ok + failed, "size_bytes": size_bytes,
+                "series": series, "series_bytes": series_bytes,
+                "corrupt": corrupt, "corrupt_bytes": corrupt_bytes}
 
     def clear(self, failed_only: bool = False) -> int:
-        """Delete records (all, or only failures); returns count removed."""
+        """Delete records (all, or only failures); returns count removed.
+
+        A record's ``.series.json`` sidecar is deleted with its record —
+        a failed-only clear therefore removes sidecars *of the deleted
+        failure records* (e.g. left behind by a run that succeeded under
+        an older code version and failed on retry) while keeping the
+        sidecars of surviving ok records.
+        """
         removed = 0
         if not self._objects.is_dir():
             return removed
-        for path in sorted(self._objects.glob("*/*")):
-            if path.suffix == ".corrupt" and not failed_only:
-                path.unlink(missing_ok=True)
-                continue
-            if path.name.endswith(".series.json"):
-                # Series sidecars ride along with their record: a full
-                # clear drops them (uncounted), a failed-only clear
-                # keeps them (their record is an ok record).
-                if not failed_only:
+        with self._lock:
+            for path in sorted(self._objects.glob("*/*")):
+                if path.suffix == ".corrupt" and not failed_only:
                     path.unlink(missing_ok=True)
-                continue
-            if path.suffix != ".json":
-                continue
-            if failed_only:
-                record = self.get_record(path.stem)
-                if record is None or record["status"] != "failed":
                     continue
-            path.unlink(missing_ok=True)
-            removed += 1
+                if path.name.endswith(".series.json"):
+                    # Sidecars of *kept* records survive a failed-only
+                    # clear; the ones belonging to deleted records are
+                    # removed alongside them below (uncounted).
+                    if not failed_only:
+                        path.unlink(missing_ok=True)
+                    continue
+                if path.suffix != ".json":
+                    continue
+                if failed_only:
+                    record = self.get_record(path.stem)
+                    if record is None or record["status"] != "failed":
+                        continue
+                    self._series_path(path.stem).unlink(missing_ok=True)
+                path.unlink(missing_ok=True)
+                removed += 1
         return removed
+
+    def compact(self, drop_failed: bool = False) -> dict:
+        """Garbage-collect quarantined, version-stale, and orphaned files.
+
+        Removes, under the store lock:
+
+        * ``*.corrupt`` quarantine files (kept by normal reads for
+          post-mortems, reclaimed here);
+        * **version-stale records** — records whose schema stamp differs
+          from the current :data:`~repro.grid.keys.SCHEMA_VERSION`, or
+          whose spec no longer hashes to the record's key under the
+          current code version (such records can never be found by a
+          lookup again: the content key mixes in schema + code version);
+        * ``.series.json`` sidecars whose record is gone (orphans);
+        * with ``drop_failed=True``, recorded failures as well.
+
+        Returns a summary dict with per-category removal counts and the
+        total ``reclaimed_bytes``.
+        """
+        summary = {"corrupt": 0, "stale": 0, "failed": 0,
+                   "orphaned_series": 0, "removed": 0, "kept": 0,
+                   "reclaimed_bytes": 0}
+
+        def _drop(path: Path, category: str) -> None:
+            try:
+                summary["reclaimed_bytes"] += path.stat().st_size
+            except OSError:
+                pass
+            path.unlink(missing_ok=True)
+            summary[category] += 1
+            summary["removed"] += 1
+
+        if not self._objects.is_dir():
+            return summary
+        with self._lock:
+            for path in sorted(self._objects.glob("*/*")):
+                if path.suffix == ".corrupt":
+                    _drop(path, "corrupt")
+                elif path.name.endswith(".series.json"):
+                    record_path = path.with_name(
+                        path.name[:-len(".series.json")] + ".json")
+                    if not record_path.exists():
+                        _drop(path, "orphaned_series")
+                elif path.suffix == ".json":
+                    record = self.get_record(path.stem)
+                    if record is None:
+                        # get_record quarantined it; the .corrupt file is
+                        # new this pass — reclaim it immediately.
+                        _drop(path.with_suffix(".corrupt"), "corrupt")
+                    elif self._is_stale(record):
+                        self._series_path(path.stem).unlink(missing_ok=True)
+                        _drop(path, "stale")
+                    elif drop_failed and record["status"] == "failed":
+                        self._series_path(path.stem).unlink(missing_ok=True)
+                        _drop(path, "failed")
+                    else:
+                        summary["kept"] += 1
+        return summary
+
+    @staticmethod
+    def _is_stale(record: dict) -> bool:
+        """True when no current-code lookup can ever reach ``record``."""
+        if record.get("schema") != keys.SCHEMA_VERSION:
+            return True
+        try:
+            spec = RunSpec.from_dict(record["spec"])
+            return spec.content_key() != record["key"]
+        except Exception:
+            # A spec the current code cannot even rebuild (renamed field,
+            # removed workload, ...) is unreachable by definition.
+            return True
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,30 @@
+"""repro.serve — async simulation-as-a-service on the grid fabric.
+
+``repro.grid`` made every sweep a content-addressed memo table;
+``repro.serve`` puts a long-running front end on it.  One server
+process owns the store and a worker pool; any number of clients submit
+run/sweep specs over a line-delimited JSON protocol (unix socket or
+TCP) and stream back outcomes as they settle:
+
+* **hits are free** — anything any client (or any past ``grid sweep``)
+  ever ran is answered instantly from the store;
+* **misses run once** — in-flight runs are deduplicated across
+  clients, so two users sweeping overlapping config sets trigger each
+  simulation exactly once and both receive its outcome;
+* **progress is multiplexed** — ``watch`` subscribers stream global
+  progress ticks with per-client backpressure (slow consumers drop
+  ticks, they never stall the server or other clients).
+
+Results cross the wire through the same lossless serialization as the
+store, so a served sweep is bit-identical, row for row, to ``python -m
+repro grid sweep`` (``stats["sim.events"]`` exempt as ever).  See
+``docs/SERVE.md`` for the protocol frame reference and ``python -m
+repro serve --help`` for the command-line surface.
+"""
+
+from repro.serve.client import ServeClient, ServeError, SubmitReport
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import ReproServer
+
+__all__ = ["ReproServer", "ServeClient", "ServeError", "SubmitReport",
+           "ProtocolError", "PROTOCOL_VERSION"]

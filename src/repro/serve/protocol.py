@@ -1,0 +1,144 @@
+"""The JSONL wire protocol spoken between serve clients and the server.
+
+One frame per line; every frame is a JSON object with a ``"type"``
+field.  Frames that answer a request echo the request's ``"id"`` so a
+client can interleave requests on one connection.  The full frame
+reference lives in ``docs/SERVE.md``; this module is the single place
+frames are built and parsed, so the server, the client, and the tests
+can never drift apart.
+
+Client → server requests::
+
+    {"type": "submit",   "id": ..., "specs": [RunSpec.to_dict(), ...]}
+    {"type": "watch",    "id": ...}
+    {"type": "stats",    "id": ...}
+    {"type": "ping",     "id": ...}
+    {"type": "shutdown", "id": ...}
+
+Server → client frames: ``hello`` (on connect), ``accepted``,
+``outcome`` (one per unique spec, streamed as each settles), ``done``,
+``watching``, ``progress`` (droppable ticks), ``stats``, ``pong``,
+``error``, ``bye``.
+
+Results cross the wire through the same lossless
+``RunResult.to_dict`` / ``from_dict`` pair the grid store uses, which
+is what makes a served sweep bit-identical to a local one.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.grid.scheduler import RunOutcome
+from repro.grid.spec import RunSpec
+from repro.grid.store import FailedRun
+from repro.results import RunResult
+
+#: Bump when a frame's meaning changes; the server advertises it in the
+#: ``hello`` frame and clients may refuse to speak to a newer server.
+PROTOCOL_VERSION = 1
+
+#: Frame types a client may send.
+REQUEST_TYPES = ("submit", "watch", "stats", "ping", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A line that is not a well-formed protocol frame."""
+
+
+def encode(frame: dict) -> bytes:
+    """One frame as a newline-terminated UTF-8 JSON line."""
+    return (json.dumps(frame, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one line into a frame dict; raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        frame = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(frame, dict) or not isinstance(frame.get("type"), str):
+        raise ProtocolError("frame must be a JSON object with a 'type'")
+    return frame
+
+
+# -- server-side frame builders ----------------------------------------
+
+def hello_frame() -> dict:
+    """The greeting the server writes on every new connection."""
+    import repro
+
+    return {"type": "hello", "server": "repro.serve",
+            "protocol": PROTOCOL_VERSION, "code": repro.__version__}
+
+
+def error_frame(request_id, message: str) -> dict:
+    """A request-level failure (the connection stays usable)."""
+    return {"type": "error", "id": request_id, "message": message}
+
+
+def accepted_frame(request_id, total: int, unique: int, hits: int,
+                   misses: int, shared: int) -> dict:
+    """Submit acknowledgment: how the run set decomposed."""
+    return {"type": "accepted", "id": request_id, "total": total,
+            "unique": unique, "hits": hits, "misses": misses,
+            "shared": shared}
+
+
+def outcome_frame(request_id, seq: int, outcome: RunOutcome,
+                  source: str | None = None) -> dict:
+    """One settled unique spec of a submission.
+
+    ``source`` is ``"store"`` (answered from the result store),
+    ``"run"`` (executed for this submission) or ``"shared"`` (executed
+    once for an earlier overlapping submission that is still in
+    flight — the cross-client dedup path).
+    """
+    frame = {
+        "type": "outcome", "id": request_id, "seq": seq,
+        "key": outcome.key, "status": outcome.status,
+        "source": source if source is not None else outcome.source,
+        "spec": outcome.spec.to_dict(), "wall_s": outcome.wall_s,
+    }
+    if outcome.status == "ok":
+        frame["result"] = outcome.result.to_dict()
+    else:
+        frame["failure"] = outcome.failure.to_dict()
+    return frame
+
+
+def done_frame(request_id, ok: int, failed: int, hits: int, runs: int,
+               shared: int) -> dict:
+    """Submission epilogue: every unique spec has settled."""
+    return {"type": "done", "id": request_id, "ok": ok, "failed": failed,
+            "hits": hits, "runs": runs, "shared": shared}
+
+
+# -- client-side parsing -----------------------------------------------
+
+def outcome_from_frame(frame: dict) -> RunOutcome:
+    """Rebuild the :class:`RunOutcome` carried by an ``outcome`` frame.
+
+    The returned object is interchangeable with one produced by a local
+    :class:`~repro.grid.scheduler.GridScheduler`, so served sweeps feed
+    straight into ``replay_cache`` and the experiment replay path.
+    """
+    if frame.get("type") != "outcome":
+        raise ProtocolError(f"expected an outcome frame, got "
+                            f"{frame.get('type')!r}")
+    spec = RunSpec.from_dict(frame["spec"])
+    result = failure = None
+    if frame["status"] == "ok":
+        result = RunResult.from_dict(frame["result"])
+    else:
+        failure = FailedRun.from_dict(frame["failure"])
+    return RunOutcome(spec, frame["key"], frame["status"], frame["source"],
+                      result=result, failure=failure,
+                      wall_s=frame.get("wall_s"))
+
+
+__all__ = ["PROTOCOL_VERSION", "REQUEST_TYPES", "ProtocolError", "encode",
+           "decode", "hello_frame", "error_frame", "accepted_frame",
+           "outcome_frame", "done_frame", "outcome_from_frame"]

@@ -96,6 +96,39 @@ class TestFaultTolerance:
         assert outcomes[0].failure.kind == "timeout"
         assert outcomes[0].wall_s < 5
 
+    def test_timeout_enforced_off_the_main_thread(self):
+        # Regression: the per-run deadline used SIGALRM, which only the
+        # main thread may arm — a worker *thread* (the serve server's
+        # in-process mode) must fall back to the deadline watchdog.
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.grid.scheduler import _execute_in_worker
+
+        spec = specs_for(2, overrides={"_grid_sleep_s": 30})[0]
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            payload = pool.submit(_execute_in_worker, spec, 0.5).result(
+                timeout=30)
+        assert payload["ok"] is False
+        assert payload["kind"] == "timeout"
+        assert payload["wall_s"] < 10
+
+    def test_fast_run_off_the_main_thread_is_unaffected(self):
+        # The watchdog must withdraw an unfired (or late-fired) deadline
+        # exception instead of letting it surface in later work.
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.grid.scheduler import _execute_in_worker
+
+        spec = specs_for(2)[0]
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            payload = pool.submit(_execute_in_worker, spec, 30.0).result(
+                timeout=60)
+            # Reuse the same thread: no stale injected exception lands.
+            follow_up = pool.submit(lambda: sum(range(10_000))).result(
+                timeout=10)
+        assert payload["ok"] is True
+        assert follow_up == sum(range(10_000))
+
 
 class TestSeriesSweeps:
     def test_series_stored_beside_bit_identical_result(self, tmp_path):

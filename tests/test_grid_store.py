@@ -135,6 +135,118 @@ class TestSeriesSidecars:
         store._series_path(key).write_text("{truncated")
         assert store.get_series(key) is None
 
+    def test_failed_only_clear_removes_the_failures_sidecar(self, tmp_path):
+        # Regression: a failed record's sidecar (left by an earlier ok
+        # run of the same key) must not be orphaned by the clear.
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        store.put_series(key, self.SERIES)
+        store.put(SPEC, FailedRun(key=key, label=SPEC.label(),
+                                  kind="exception", message="flaky retry"))
+        assert store.clear(failed_only=True) == 1
+        assert store.get_series(key) is None
+        assert list(store._objects.glob("*/*.series.json")) == []
+
+    def test_stats_counts_sidecars_and_quarantined_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        store.put_series(key, self.SERIES)
+        stats = store.stats()
+        assert stats["series"] == 1 and stats["series_bytes"] > 0
+        assert stats["corrupt"] == 0 and stats["corrupt_bytes"] == 0
+        store._path(key).write_text("{truncated")
+        assert store.get(SPEC) is None          # quarantines the record
+        stats = store.stats()
+        assert stats["records"] == 0
+        assert stats["corrupt"] == 1 and stats["corrupt_bytes"] > 0
+
+
+class TestCompact:
+    def test_empty_store_compacts_to_nothing(self, tmp_path):
+        summary = ResultStore(tmp_path).compact()
+        assert summary["removed"] == 0 and summary["kept"] == 0
+        assert summary["reclaimed_bytes"] == 0
+
+    def test_current_records_survive(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, executed())
+        other = RunSpec("merge", cores=2, preset="tiny")
+        store.put(other, FailedRun(key=other.content_key(),
+                                   label=other.label(), kind="exception",
+                                   message="boom"))
+        summary = store.compact()
+        assert summary["removed"] == 0 and summary["kept"] == 2
+        assert store.get(SPEC) is not None
+
+    def test_quarantined_files_are_reclaimed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        store._path(key).write_text("{truncated")
+        assert store.get(SPEC) is None          # quarantines
+        summary = store.compact()
+        assert summary["corrupt"] == 1
+        assert summary["reclaimed_bytes"] > 0
+        assert store.stats()["corrupt"] == 0
+
+    def test_version_stale_records_are_dropped_with_sidecars(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        store.put_series(key, TestSeriesSidecars.SERIES)
+        path = store._path(key)
+        record = json.loads(path.read_text())
+        record["schema"] = "0.0-ancient"
+        path.write_text(json.dumps(record))
+        summary = store.compact()
+        assert summary["stale"] == 1 and summary["kept"] == 0
+        assert store.get_series(key) is None
+
+    def test_key_mismatch_counts_as_stale(self, tmp_path):
+        # A record whose spec no longer hashes to its key is unreachable
+        # by any lookup under the current code version.
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        path = store._path(key)
+        record = json.loads(path.read_text())
+        record["spec"]["cores"] = 512
+        path.write_text(json.dumps(record))
+        assert store.compact()["stale"] == 1
+
+    def test_orphaned_series_are_collected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        store.put_series(key, TestSeriesSidecars.SERIES)
+        store._path(key).unlink()
+        summary = store.compact()
+        assert summary["orphaned_series"] == 1
+        assert store.get_series(key) is None
+
+    def test_drop_failed_removes_failure_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, executed())
+        other = RunSpec("merge", cores=2, preset="tiny")
+        store.put(other, FailedRun(key=other.content_key(),
+                                   label=other.label(), kind="timeout",
+                                   message="slow"))
+        assert store.compact()["failed"] == 0       # opt-in only
+        summary = store.compact(drop_failed=True)
+        assert summary["failed"] == 1 and summary["kept"] == 1
+        assert store.get(other) is None
+        assert store.get(SPEC) is not None
+
+    def test_compact_cli_reports_reclaimed_bytes(self, tmp_path, capsys):
+        from repro.grid.cli import main
+
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, executed())
+        store._path(key).write_text("{truncated")
+        assert store.get(SPEC) is None          # quarantines
+        assert main(["compact", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out and "reclaimed" in out
+        assert main(["compact", "--store", str(tmp_path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["removed"] == 0          # already clean
+
 
 class TestCaches:
     def test_memory_cache_counts(self):
