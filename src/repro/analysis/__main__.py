@@ -63,6 +63,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="comma-separated workloads that must replay "
                               "OpBlock templates in the cc mapping; exit "
                               "non-zero when the audited set differs")
+    audit_p.add_argument("--expect-phased", metavar="NAMES",
+                         help="comma-separated workloads that must dispatch "
+                              "at least one eligible OpPhase in the cc "
+                              "mapping; exit non-zero when the audited set "
+                              "differs (guards against silent "
+                              "de-vectorization)")
 
     mon_p = sub.add_parser(
         "monitor",
@@ -132,6 +138,17 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"expect-converted mismatch: expected {expected}, "
                       f"audited programs replay blocks in {converted}",
                       file=sys.stderr)
+                status = 1
+        if args.expect_phased is not None:
+            expected = sorted({part.strip()
+                               for part in args.expect_phased.split(",")
+                               if part.strip()})
+            phased = sorted({r.workload for r in reports
+                             if r.model == "cc" and r.phased})
+            if phased != expected:
+                print(f"expect-phased mismatch: expected {expected}, "
+                      f"audited programs dispatch eligible phases in "
+                      f"{phased}", file=sys.stderr)
                 status = 1
         return status
 

@@ -66,10 +66,12 @@ from repro.core.ops import (
     OP_LOCAL_STORE,
     OP_LOCK,
     OP_PFS,
+    OP_PHASE,
     OP_STORE,
     OP_TASK_POP,
     OP_UNLOCK,
     OpBlock,
+    OpPhase,
     merge_intervals,
 )
 from repro.workloads import get_workload
@@ -175,6 +177,51 @@ class BlockProof:
 
 
 @dataclass(frozen=True)
+class PhaseProof:
+    """Eligibility verdict for one dispatched OpPhase descriptor.
+
+    ``eligible`` mirrors the processor's *wholesale* phase gates (the
+    slice-invariant conditions under which the phase engine will even
+    attempt the closed form): arithmetic lanes with nonzero cost,
+    line-aligned bases and strides, and a local-store footprint inside
+    the capacity budget.  L1 residency is inherently dynamic — the
+    engine verifies it per iteration and spills exactly the misses — so
+    ``fits_l1`` is reported as a predictor, not a gate.
+    """
+
+    name: str
+    lanes: int
+    dispatches: int
+    iterations: int
+    arith_only: bool
+    line_aligned: bool
+    ls_fits: bool
+    fits_l1: bool
+    all_static: bool
+
+    @property
+    def eligible(self) -> bool:
+        return self.arith_only and self.line_aligned and self.ls_fits
+
+    def render(self) -> str:
+        verdict = "eligible" if self.eligible else "NOT eligible"
+        why = []
+        if not self.arith_only:
+            why.append("non-arith or zero-cost lanes")
+        if not self.line_aligned:
+            why.append("unaligned base/stride")
+        if not self.ls_fits:
+            why.append("exceeds local store")
+        tail = f" ({', '.join(why)})" if why else ""
+        shape = "static" if self.all_static else "strided"
+        resident = "resident-sized" if self.fits_l1 else "exceeds L1"
+        return (f"phase {self.name!r}: {self.lanes} lane(s) x "
+                f"{self.iterations} iteration(s) over "
+                f"{self.dispatches} dispatch(es), {shape}, {resident}: "
+                f"{verdict}{tail}")
+
+
+@dataclass(frozen=True)
 class LoopCandidate:
     """A raw-op loop that could be converted to OpBlock replay."""
 
@@ -205,6 +252,7 @@ class AuditReport:
     preset: str
     diagnostics: list[Diagnostic]
     blocks: list[BlockProof]
+    phases: list[PhaseProof]
     candidates: list[LoopCandidate]
     ops_walked: int
     truncated: bool
@@ -222,6 +270,11 @@ class AuditReport:
         """True when the program already replays OpBlock templates."""
         return bool(self.blocks)
 
+    @property
+    def phased(self) -> bool:
+        """True when the program dispatches at least one eligible phase."""
+        return any(p.eligible for p in self.phases)
+
     def to_dict(self) -> dict:
         return {
             "workload": self.workload,
@@ -232,8 +285,11 @@ class AuditReport:
             "warnings": [asdict(d) for d in self.warnings],
             "blocks": [dict(asdict(b), eligible=b.eligible)
                        for b in self.blocks],
+            "phases": [dict(asdict(p), eligible=p.eligible)
+                       for p in self.phases],
             "candidates": [asdict(c) for c in self.candidates],
             "converted": self.converted,
+            "phased": self.phased,
             "ops_walked": self.ops_walked,
             "truncated": self.truncated,
         }
@@ -243,7 +299,8 @@ class AuditReport:
             f"{self.workload}/{self.model} cores={self.cores} "
             f"preset={self.preset}: {len(self.hazards)} hazard(s), "
             f"{len(self.warnings)} warning(s), {len(self.blocks)} block "
-            f"template(s), {len(self.candidates)} candidate loop(s) "
+            f"template(s), {len(self.phases)} phase descriptor(s), "
+            f"{len(self.candidates)} candidate loop(s) "
             f"[{self.ops_walked} ops walked]"
         ]
         for d in self.hazards:
@@ -255,6 +312,8 @@ class AuditReport:
             lines.append(f"  ... {hidden} more warning(s)")
         for b in self.blocks:
             lines.append("  " + b.render())
+        for p in self.phases:
+            lines.append("  " + p.render())
         for c in self.candidates:
             lines.append("  " + c.render())
         if self.truncated:
@@ -381,6 +440,7 @@ class _ProgramAuditor:
         self.cached_reads: list[Interval] = []
         self.cached_writes: list[Interval] = []
         self.block_stats: dict[int, dict] = {}
+        self.phase_stats: dict[int, dict] = {}
         self.segments: list[tuple[str, list[tuple]]] = []
         self.pop_seq: dict[int, int] = {}
         self.unit_labels: dict[tuple, str] = {}
@@ -536,6 +596,9 @@ class _ProgramAuditor:
         elif kind == OP_BLOCK:
             self._flush_trace(w)
             self._replay_block(w, op[1], op[2])
+        elif kind == OP_PHASE:
+            self._flush_trace(w)
+            self._replay_phase(w, op[1])
         elif kind in (OP_DMA_GET, OP_DMA_PUT):
             self._flush_trace(w)
             self._dma_command(w, kind, op[1], op[2], op[3], op[4], op[5])
@@ -647,6 +710,29 @@ class _ProgramAuditor:
                 self._dispatch(w, mop)
         finally:
             self._tracing = True
+
+    def _replay_phase(self, w: _Walker, ph: OpPhase) -> None:
+        """Walk a phase as the block replays it stands for.
+
+        The phase's semantics *are* its per-iteration block replays
+        (iteration-major, lane-minor), so routing every replay through
+        :meth:`_replay_block` keeps the conflict analysis, footprints,
+        and block proofs identical to the unconverted loop while the
+        phase descriptor itself gets a separate eligibility verdict.
+        """
+        stats = self.phase_stats.get(id(ph))
+        if stats is None:
+            stats = self.phase_stats[id(ph)] = {"ph": ph, "dispatches": 0,
+                                                "iterations": 0}
+        stats["dispatches"] += 1
+        stats["iterations"] += ph.count
+        lanes = ph.lanes
+        for k in range(ph.count):
+            if self.ops_walked >= MAX_WALK_OPS:
+                self._mark_truncated()
+                return
+            for blk, base, stride in lanes:
+                self._replay_block(w, blk, base + k * stride)
 
     def _dma_command(self, w: _Walker, kind: str, tag: int, addr: int,
                      nbytes: int, stride: int, block: int | None) -> None:
@@ -858,6 +944,65 @@ class _ProgramAuditor:
         proofs.sort(key=lambda p: p.name)
         return proofs
 
+    def phase_proofs(self) -> list[PhaseProof]:
+        # Run-length coalescing (phase_runs) mints a fresh descriptor per
+        # run, so same-shaped descriptors aggregate under one proof:
+        # signature -> [dispatches, iterations].
+        grouped: dict[tuple, list[int]] = {}
+        line_bytes = self.line_bytes
+        for stats in self.phase_stats.values():
+            ph: OpPhase = stats["ph"]
+            # One iteration's cache footprint: every lane's intervals
+            # shifted to the first iteration's deltas, merged across
+            # lanes (later iterations have the same shape).
+            intervals = []
+            ls_fits = True
+            for blk, base, _stride in ph.lanes:
+                fp = blk.footprint()
+                for s, e in fp.reads:
+                    intervals.append((s + base, e + base))
+                for s, e in fp.writes:
+                    intervals.append((s + base, e + base))
+            if intervals:
+                lines = _to_lines(merge_intervals(intervals), line_bytes)
+                touched = sum(e - s for s, e in lines) * line_bytes
+                fits = touched <= self._l1_capacity()
+            else:
+                fits = True
+            if ph.has_local:
+                capacity = (self.config.stream.local_store_bytes
+                            if self.streaming else 0)
+                ls_fits = ph.ls_max_end <= capacity
+            key = (ph.name or "anonymous", len(ph.lanes),
+                   ph.iter_cycles is not None,
+                   ph.align_or % line_bytes == 0,
+                   ls_fits, fits, ph.all_static)
+            counts = grouped.setdefault(key, [0, 0])
+            counts[0] += stats["dispatches"]
+            counts[1] += stats["iterations"]
+        proofs = []
+        for key, (dispatches, iterations) in grouped.items():
+            name, lanes, arith, aligned, ls_fits, fits, static = key
+            proof = PhaseProof(
+                name=name,
+                lanes=lanes,
+                dispatches=dispatches,
+                iterations=iterations,
+                arith_only=arith,
+                line_aligned=aligned,
+                ls_fits=ls_fits,
+                fits_l1=fits,
+                all_static=static,
+            )
+            proofs.append(proof)
+            if not proof.eligible:
+                self._sink(Diagnostic(
+                    WARNING, "phase-proof-failed",
+                    f"dispatched phase {proof.name!r} fails its "
+                    "eligibility proof: " + proof.render()))
+        proofs.sort(key=lambda p: (p.name, -p.iterations))
+        return proofs
+
     # -- candidate loops -----------------------------------------------
 
     def find_candidates(self) -> list[LoopCandidate]:
@@ -991,6 +1136,7 @@ class _ProgramAuditor:
 
     def report(self) -> AuditReport:
         blocks = self.block_proofs()
+        phases = self.phase_proofs()
         candidates = self.find_candidates()
         return AuditReport(
             workload=self.workload,
@@ -999,6 +1145,7 @@ class _ProgramAuditor:
             preset=self.preset,
             diagnostics=list(self.diagnostics),
             blocks=blocks,
+            phases=phases,
             candidates=candidates,
             ops_walked=self.ops_walked,
             truncated=self.truncated,

@@ -27,7 +27,7 @@ from repro.core.sync import (
     TASK_POP_OVERHEAD_CYCLES,
 )
 from repro.mem.coherence import MesiState
-from repro.sim.fastpath import blocks_enabled, fastpath_enabled
+from repro.sim.fastpath import blocks_enabled, fastpath_enabled, phases_enabled
 from repro.sim.kernel import SimulationError
 from repro.units import ns_to_fs
 
@@ -36,6 +36,28 @@ if TYPE_CHECKING:
 
 #: Fetch stall per instruction-cache miss: an L2 round trip.
 ICACHE_MISS_PENALTY_NS = 12.0
+
+#: Iterations spilled per chunk when a phase cannot retire in closed
+#: form (escape hatch, non-arith lanes, slow path).  Bounds the pending
+#: list while keeping the re-dispatch overhead amortized.
+PHASE_SPILL_CHUNK = 64
+
+#: Smallest slice worth retiring in closed form.  Below this, the phase
+#: arm's own per-slice cost (schedule gate, queue peek, residency scan,
+#: renewal arithmetic) exceeds what retiring saves over the block
+#: interpreter's per-iteration closed form, so the slice spills instead.
+#: Multi-core barrier-lockstep runs sit permanently in this regime —
+#: foreign events land within an iteration's cost of each other — and
+#: degrade gracefully to block-interpreter speed.
+PHASE_MIN_RETIRE = 4
+
+#: Iterations spilled when the schedule gate yields a slice below
+#: :data:`PHASE_MIN_RETIRE` (quantum boundary with foreign events too
+#: close).  Barrier-lockstep cores keep their events interleaved within
+#: an iteration's cost for long stretches, so a blocked phase spills a
+#: full chunk rather than re-proving the schedule every few iterations;
+#: the block interpreter's own closed form keeps the spilled chunk fast.
+PHASE_SCHED_SPILL = 64
 
 
 def _limit_after_block(start_fs: int, limit_fs: int, cycle_fs: int,
@@ -59,6 +81,38 @@ def _limit_after_block(start_fs: int, limit_fs: int, cycle_fs: int,
             return limit_fs
         index = bisect_left(prefix_cycles, need)
         limit_fs = start_fs + prefix_cycles[index] * cycle_fs + quantum_fs
+
+
+def _limit_after_phase(start_fs: int, limit_fs: int, cycle_fs: int,
+                       quantum_fs: int, iter_prefix: tuple,
+                       iter_cycles: int, iters: int) -> int:
+    """Quantum limit after ``iters`` closed-form phase iterations.
+
+    The iteration axis extends :func:`_limit_after_block`'s schedule
+    periodically: op boundaries sit at ``start + (k * iter_cycles +
+    iter_prefix[i]) * cycle_fs`` for iteration ``k``, so each renewal
+    resolves its target boundary by splitting the cumulative cycle count
+    into (iteration, residue) and bisecting the residue into one
+    iteration's prefix sums.  The loop runs once per quantum renewal —
+    O(total cycles / quantum), independent of the iteration count —
+    and, like the block version, relies on the caller having proved
+    that every renewal inside the phase succeeds (queue head beyond the
+    retired prefix, or no boundary reaching the old limit at all).
+    """
+    total = iters * iter_cycles
+    while True:
+        need = -(-(limit_fs - start_fs) // cycle_fs)
+        if need > total:
+            return limit_fs
+        iteration, residue = divmod(need, iter_cycles)
+        if residue:
+            boundary = (iteration * iter_cycles
+                        + iter_prefix[bisect_left(iter_prefix, residue)])
+        else:
+            # ``need`` lands exactly on an iteration boundary, which is
+            # the previous iteration's final op boundary.
+            boundary = need
+        limit_fs = start_fs + boundary * cycle_fs + quantum_fs
 
 
 class Processor:
@@ -91,6 +145,11 @@ class Processor:
         #: Block interpreter switch (REPRO_BLOCKS); when off, every
         #: OpBlock is materialized back into the plain per-op stream.
         self._blocks = blocks_enabled()
+        #: Phase engine switch (REPRO_PHASES); when off, every OpPhase
+        #: is spilled back into per-iteration block replays.  The phase
+        #: closed form retires *block* iterations, so it additionally
+        #: requires the block interpreter to be on.
+        self._phases = phases_enabled() and self._blocks
         #: Ops spilled from a block (materialized remainder after a
         #: mid-block yield, or a whole block under REPRO_BLOCKS=0),
         #: consumed LIFO before the generator is consulted again.
@@ -105,6 +164,11 @@ class Processor:
         self.word_accesses = 0
         self.local_accesses = 0
         self.icache_misses = 0
+        #: Iterations retired by the phase closed form (mode-dependent
+        #: diagnostic) and total iterations dispatched as phases
+        #: (mode-independent: counted once whether retired or spilled).
+        self.phase_iters = 0
+        self.phase_iters_total = 0
         self.done = False
         self.finish_fs = 0
 
@@ -169,6 +233,17 @@ class Processor:
           quantum expires mid-block.  ``REPRO_BLOCKS=0``, or any block
           carrying DMA / prefetch / flush ops, materializes the block
           back into plain tuples handled by the arms above.
+        * **Op phases** (``"ph"``) are the tier above blocks (see
+          :func:`repro.core.ops.phase`): a run of K constant-stride block
+          iterations yielded as one descriptor.  When the block closed
+          form's conditions hold across whole iterations, the phase arm
+          retires as many as the quantum/queue horizon allows in a
+          single arithmetic step — counters as ``K x per_iteration``
+          sums, LRU/stored state via the block geometry evaluated per
+          iteration shift, the renewal schedule via
+          :func:`_limit_after_phase` — and spills back to per-block
+          replays at the first non-resident iteration or ineligible
+          descriptor.  ``REPRO_PHASES=0`` spills every phase.
         """
         gen_send = self._gen.send
         cycle_fs = self.cycle_fs
@@ -182,6 +257,7 @@ class Processor:
         fastpath = self._fastpath
         fast_mem = fastpath and hierarchy.fastpath_safe
         blocks_on = self._blocks
+        phases_on = self._phases
         pending = self._pending
         # Per-op invariants hoisted to loop-locals: resolved once per
         # scheduling slice instead of once per op.
@@ -216,6 +292,8 @@ class Processor:
         icache_misses = 0
         loads_hit = 0
         stores_hit = 0
+        phase_retired = 0
+        phase_total = 0
 
         # Exit actions: how the loop below was left.
         FINISH, SUSPEND, YIELD = 0, 1, 2
@@ -304,6 +382,306 @@ class Processor:
                         if line == last:
                             break
                         line += 1
+
+                elif kind == "ph":
+                    # Phase engine (see repro.core.ops.OpPhase): a run of
+                    # ``count`` constant-stride block iterations.  The
+                    # closed form below retires as many whole iterations
+                    # as the quantum/queue horizon and L1 residency
+                    # allow, in one arithmetic step; everything else
+                    # spills back into plain ("blk", ...) replays, which
+                    # the block interpreter executes bit-identically.
+                    ph = op[1]
+                    # A 3-tuple is a resume cursor: re-enter at the
+                    # recorded iteration.  The mode-independent total is
+                    # counted once, at first dispatch.
+                    if len(op) == 3:
+                        k0 = op[2]
+                    else:
+                        k0 = 0
+                        phase_total += ph.count
+                    count = ph.count
+                    lanes = ph.lanes
+                    iter_cycles = ph.iter_cycles
+                    # Wholesale-ineligibility gates, cheapest first.  All
+                    # are slice-invariant, so an ineligible phase spills
+                    # a bounded chunk of iterations and leaves a cursor
+                    # rather than re-proving ineligibility per iteration.
+                    eligible = (phases_on and fast_mem
+                                and iter_cycles is not None
+                                and not (ph.align_or & line_mask))
+                    if eligible and ph.has_local:
+                        eligible = (local_store is not None
+                                    and local_store.observer is None
+                                    and ph.ls_max_end
+                                    <= local_store.capacity_bytes)
+                    if not eligible:
+                        k_hi = k0 + PHASE_SPILL_CHUNK
+                        if k_hi < count:
+                            pending.append(("ph", ph, k_hi))
+                        else:
+                            k_hi = count
+                        for k in range(k_hi - 1, k0 - 1, -1):
+                            for blk, base, stride in reversed(lanes):
+                                pending.append(
+                                    ("blk", blk, base + k * stride))
+                        continue
+                    # Schedule gate: retiring m iterations is safe when
+                    # their end precedes the quantum limit (no renewal
+                    # needed) or the queue head lies beyond it (every
+                    # interior renewal succeeds).  m_peek may go negative
+                    # when another core's event sits at or behind our
+                    # clock; the max() floors the bound at m_limit >= 0.
+                    c_fs = iter_cycles * cycle_fs
+                    m_max = count - k0
+                    m_limit = (limit - now - 1) // c_fs
+                    if m_limit >= m_max:
+                        m_allowed = m_max
+                    else:
+                        next_fs = peek_time()
+                        if next_fs is None:
+                            m_allowed = m_max
+                        else:
+                            m_peek = (next_fs - now - 1) // c_fs
+                            m_allowed = m_limit if m_limit > m_peek else m_peek
+                            if m_allowed > m_max:
+                                m_allowed = m_max
+                    if m_allowed < PHASE_MIN_RETIRE:
+                        # Quantum boundary with foreign events too close
+                        # to prove a slice worth the arm's overhead: run
+                        # a short chunk through the block interpreter (it
+                        # replays the renewal/yield decision per op,
+                        # bit-exactly) and resume the phase afterwards.
+                        spill = m_allowed if (m_allowed
+                                              > PHASE_SCHED_SPILL) \
+                            else PHASE_SCHED_SPILL
+                        k_hi = k0 + spill
+                        if k_hi < count:
+                            pending.append(("ph", ph, k_hi))
+                        else:
+                            k_hi = count
+                        for k in range(k_hi - 1, k0 - 1, -1):
+                            for blk, base, stride in reversed(lanes):
+                                pending.append(
+                                    ("blk", blk, base + k * stride))
+                        continue
+                    geom = ph._geometries.get(line_shift)
+                    if geom is None:
+                        geom = ph.geometry(line_shift)
+                    glanes = geom.lanes
+                    # Residency scan: the per-line conditions are exactly
+                    # the block closed form's, probed at the slice start.
+                    # That is conservative-safe for every later iteration
+                    # in the slice: a zero-miss slice inserts and evicts
+                    # nothing, and the state transitions it does apply
+                    # (SHARED departing, prefetch tags clearing, LRU
+                    # touches) only ever *help* these checks.
+                    if ph.all_static:
+                        # Revisit phase (every stride zero): residency is
+                        # iteration-invariant — check once, apply the
+                        # stored/LRU transitions once (identical
+                        # iterations are idempotent on cache state), and
+                        # multiply the counters.
+                        ok = True
+                        for g, (_blk, base, _stride) in zip(glanes, lanes):
+                            dl = base >> line_shift
+                            for rel, loaded, fresh, written in g.checks:
+                                line = rel + dl
+                                entry = l1_sets[line & l1_mask].get(line)
+                                if (entry is None
+                                        or (loaded
+                                            and (entry.ready_fs > now
+                                                 or (fresh
+                                                     and entry.prefetched)))
+                                        or (written
+                                            and entry.state is shared)):
+                                    ok = False
+                                    break
+                            if not ok:
+                                break
+                        if ok:
+                            for g, (_blk, base, _stride) in zip(glanes,
+                                                                lanes):
+                                dl = base >> line_shift
+                                for rel in g.stored:
+                                    line = rel + dl
+                                    entry = l1_sets[line & l1_mask][line]
+                                    entry.state = modified
+                                    entry.prefetched = False
+                                for rel in g.lru:
+                                    line = rel + dl
+                                    l1_sets[line & l1_mask].move_to_end(line)
+                            retire = m_allowed
+                        else:
+                            retire = 0
+                    elif len(glanes) == 1:
+                        # Single-lane strided phase (the shape every run
+                        # coalescer emits): fused scan+apply with an
+                        # incremental line cursor — the alignment gate
+                        # proved base and stride line-multiples, so the
+                        # per-iteration delta is one integer add.
+                        g = glanes[0]
+                        _blk, base, stride = lanes[0]
+                        dl = (base + k0 * stride) >> line_shift
+                        sdl = stride >> line_shift
+                        checks = g.checks
+                        g_stored = g.stored
+                        g_lru = g.lru
+                        n_m = m_allowed
+                        retire = 0
+                        if (len(checks) == 1 and g_lru == (checks[0][0],)
+                                and (not g_stored
+                                     or g_stored == (checks[0][0],))):
+                            # One-line block (load/compute[/store] on a
+                            # single cache line): the check, the dirty
+                            # transition, and the LRU touch all hit the
+                            # same entry, so one probe per iteration
+                            # covers everything.
+                            rel, loaded, fresh, written = checks[0]
+                            do_store = bool(g_stored)
+                            while retire < n_m:
+                                line = rel + dl
+                                cache_set = l1_sets[line & l1_mask]
+                                entry = cache_set.get(line)
+                                if (entry is None
+                                        or (loaded
+                                            and (entry.ready_fs > now
+                                                 or (fresh
+                                                     and entry.prefetched)))
+                                        or (written
+                                            and entry.state is shared)):
+                                    break
+                                if do_store:
+                                    entry.state = modified
+                                    entry.prefetched = False
+                                cache_set.move_to_end(line)
+                                dl += sdl
+                                retire += 1
+                            n_m = retire  # skip the generic loop below
+                        while retire < n_m:
+                            ok = True
+                            for rel, loaded, fresh, written in checks:
+                                line = rel + dl
+                                entry = l1_sets[line & l1_mask].get(line)
+                                if (entry is None
+                                        or (loaded
+                                            and (entry.ready_fs > now
+                                                 or (fresh
+                                                     and entry.prefetched)))
+                                        or (written
+                                            and entry.state is shared)):
+                                    ok = False
+                                    break
+                            if not ok:
+                                break
+                            for rel in g_stored:
+                                line = rel + dl
+                                entry = l1_sets[line & l1_mask][line]
+                                entry.state = modified
+                                entry.prefetched = False
+                            for rel in g_lru:
+                                l1_sets[(rel + dl) & l1_mask].move_to_end(
+                                    rel + dl)
+                            dl += sdl
+                            retire += 1
+                    else:
+                        # Multi-lane strided phase: same fused scan+apply,
+                        # verifying ALL lanes of an iteration before
+                        # applying any of its state, stopping at the first
+                        # non-resident iteration (the retired prefix stays
+                        # exact).  Lane line cursors advance incrementally
+                        # along the iteration axis.
+                        lane_geoms = list(zip(glanes, lanes))
+                        dls = [(base + k0 * stride) >> line_shift
+                               for _g, (_b, base, stride) in lane_geoms]
+                        sdls = [stride >> line_shift
+                                for _g, (_b, _base, stride) in lane_geoms]
+                        n_m = m_allowed
+                        retire = 0
+                        while retire < n_m:
+                            ok = True
+                            for (g, _lane), dl in zip(lane_geoms, dls):
+                                for rel, loaded, fresh, written in g.checks:
+                                    line = rel + dl
+                                    entry = l1_sets[line & l1_mask].get(line)
+                                    if (entry is None
+                                            or (loaded
+                                                and (entry.ready_fs > now
+                                                     or (fresh
+                                                         and entry.prefetched
+                                                         )))
+                                            or (written
+                                                and entry.state is shared)):
+                                        ok = False
+                                        break
+                                if not ok:
+                                    break
+                            if not ok:
+                                break
+                            for (g, _lane), dl in zip(lane_geoms, dls):
+                                for rel in g.stored:
+                                    line = rel + dl
+                                    entry = l1_sets[line & l1_mask][line]
+                                    entry.state = modified
+                                    entry.prefetched = False
+                                for rel in g.lru:
+                                    line = rel + dl
+                                    l1_sets[line & l1_mask].move_to_end(line)
+                            dls = [dl + sdl for dl, sdl in zip(dls, sdls)]
+                            retire += 1
+                    if retire:
+                        end = now + retire * c_fs
+                        useful += end - now
+                        instructions += ph.instructions * retire
+                        word_accesses += ph.word_accesses * retire
+                        local_accesses += ph.local_accesses * retire
+                        loads_hit += geom.loads_hit * retire
+                        stores_hit += geom.stores_hit * retire
+                        if ph.has_local:
+                            local_store.reads += ph.ls_reads * retire
+                            local_store.read_accesses += (
+                                ph.ls_read_accesses * retire)
+                            local_store.writes += ph.ls_writes * retire
+                            local_store.write_accesses += (
+                                ph.ls_write_accesses * retire)
+                        if end >= limit:
+                            # Safe by the schedule gate: retire > m_limit
+                            # only happens on the peek branch with every
+                            # interior renewal proven to succeed.
+                            limit = _limit_after_phase(
+                                now, limit, cycle_fs, quantum_fs,
+                                ph.iter_prefix, iter_cycles, retire)
+                        now = end
+                        phase_retired += retire
+                        k0 += retire
+                    if k0 < count:
+                        if retire == m_allowed:
+                            # Horizon-bound: the slice retired whole; the
+                            # cursor re-enters with a renewed schedule
+                            # gate (limit advanced above, or the peek
+                            # still blocks and one iteration spills).
+                            pending.append(("ph", ph, k0))
+                        else:
+                            # Residency failed at iteration k0: replay a
+                            # bounded chunk through the block interpreter,
+                            # which reproduces the miss — stalls, walker
+                            # calls, evictions — bit for bit, then resume
+                            # the phase.  A whole chunk (not a single
+                            # iteration) spills because a non-resident
+                            # line usually means a streaming access
+                            # pattern where the *next* iterations miss
+                            # too; re-proving the slice per miss would
+                            # cost a gate + scan per iteration.
+                            k_hi = k0 + PHASE_SPILL_CHUNK
+                            if k_hi < count:
+                                pending.append(("ph", ph, k_hi))
+                            else:
+                                k_hi = count
+                            for k in range(k_hi - 1, k0 - 1, -1):
+                                for blk, base, stride in reversed(lanes):
+                                    pending.append(
+                                        ("blk", blk, base + k * stride))
+                    continue
 
                 elif kind == "blk":
                     blk = op[1]
@@ -632,7 +1010,7 @@ class Processor:
             self._flush_locals(
                 now, send_value, useful, sync, load_stall, store_stall,
                 instructions, word_accesses, local_accesses, icache_misses,
-                loads_hit, stores_hit)
+                loads_hit, stores_hit, phase_retired, phase_total)
         if action == FINISH:
             self._finish()
         elif action == YIELD:
@@ -641,7 +1019,7 @@ class Processor:
     def _flush_locals(self, now, send_value, useful, sync, load_stall,
                       store_stall, instructions, word_accesses,
                       local_accesses, icache_misses, loads_hit,
-                      stores_hit) -> None:
+                      stores_hit, phase_retired, phase_total) -> None:
         """Fold the hot loop's batched deltas back into the object state."""
         self.now = now
         self._send_value = send_value
@@ -653,10 +1031,10 @@ class Processor:
         self.word_accesses += word_accesses
         self.local_accesses += local_accesses
         self.icache_misses += icache_misses
+        self.phase_iters += phase_retired
+        self.phase_iters_total += phase_total
         if loads_hit or stores_hit:
-            hierarchy = self.hierarchy
-            hierarchy.load_ops += loads_hit
-            hierarchy.store_ops += stores_hit
+            self.hierarchy.fold_hit_counters(loads_hit, stores_hit)
 
     def _finish(self) -> None:
         self.done = True

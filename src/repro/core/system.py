@@ -149,6 +149,9 @@ class CmpSystem:
             "xbar.wait_fs": sum(p.wait_fs for p in uncore.xbar.up)
                             + sum(p.wait_fs for p in uncore.xbar.down),
             "sim.events": self.sim.events_processed,
+            "sim.phase_iters": sum(p.phase_iters for p in self.processors),
+            "sim.phase_iters_total": sum(
+                p.phase_iters_total for p in self.processors),
         }
         if config.model is MemoryModel.STREAMING:
             stats["dma.commands"] = hierarchy.dma_commands

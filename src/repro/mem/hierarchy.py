@@ -260,6 +260,18 @@ class CacheCoherentHierarchy:
         self.prefetch_late_fs = 0
         self.refills_avoided = 0
 
+    def fold_hit_counters(self, loads_hit: int, stores_hit: int) -> None:
+        """Fold a batch of inline-retired L1 hits into the op counters.
+
+        The processor's fast paths (inline hits, the block closed form,
+        the phase engine) count guaranteed hits in loop-locals and fold
+        them here once per scheduling slice — the per-access paths
+        (:meth:`load_line` / :meth:`store_line`) bump the same counters
+        one at a time, so totals are mode-independent.
+        """
+        self.load_ops += loads_hit
+        self.store_ops += stores_hit
+
     # ------------------------------------------------------------------
     # Invariant observers (debug mode)
     # ------------------------------------------------------------------

@@ -17,8 +17,8 @@ import argparse
 import sys
 
 from repro.perf.bench import (DEFAULT_CASES, compare_reports, current_rev,
-                              load_report, render_report, run_bench,
-                              save_report)
+                              load_report, render_delta_table, render_report,
+                              run_bench, save_report)
 
 #: The committed reference report the gate runs against by default.
 DEFAULT_BASELINE = "BENCH_baseline.json"
@@ -62,6 +62,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _gate(current: dict, baseline_path: str, max_regression: float) -> int:
     baseline = load_report(baseline_path)
+    print(f"\n{render_delta_table(current, baseline)}")
     problems = compare_reports(current, baseline,
                                max_regression=max_regression)
     if problems:

@@ -12,7 +12,11 @@ the fast path enabled and once with ``REPRO_FASTPATH=0`` — and writes a
 * **events/sec** and **simulated-ops/sec** (dispatch and retirement
   throughput of the event kernel),
 * the deterministic fast-mode **event count** (the quantum-extension
-  elision at work).
+  elision at work),
+* the phase-engine counters — **phase_iters_retired** (iterations the
+  closed-form phase arm retired) and **phase_coverage** (the fraction of
+  dispatched phase iterations it retired) — so silent de-vectorization
+  of a workload shows up in the committed baseline diff.
 
 Regression gating compares a fresh report against the committed
 ``BENCH_baseline.json``.  Absolute wall times are not comparable across
@@ -36,7 +40,7 @@ import time
 from dataclasses import asdict, dataclass
 
 #: Report schema version (bump when the JSON layout changes).
-SCHEMA = 1
+SCHEMA = 2
 
 #: Environment variable read by :mod:`repro.sim.fastpath`.
 _FASTPATH_VAR = "REPRO_FASTPATH"
@@ -65,7 +69,9 @@ class BenchCase:
 #: any layer (inline hit path, quantum extension, resource calendars,
 #: DMA engine) moves at least one case.  The multi-core streaming cases
 #: exercise the block interpreter's local-store closed form together
-#: with the DMA engine's contiguous-command fast branch.
+#: with the DMA engine's contiguous-command fast branch.  art-cc-c4 and
+#: fem-cc-c4 cover the phase-descriptor dispatch path under barrier
+#: pressure, and bitonic-str-c1 the sort's local-store mapping.
 DEFAULT_CASES: tuple[BenchCase, ...] = (
     BenchCase("fir-cc-c1", "fir", "cc", 1),
     BenchCase("fir-str-c1", "fir", "str", 1),
@@ -73,7 +79,10 @@ DEFAULT_CASES: tuple[BenchCase, ...] = (
     BenchCase("fir-str-c4", "fir", "str", 4),
     BenchCase("bitonic-cc-c1", "bitonic", "cc", 1),
     BenchCase("bitonic-cc-c4", "bitonic", "cc", 4),
+    BenchCase("bitonic-str-c1", "bitonic", "str", 1),
     BenchCase("merge-str-c4", "merge", "str", 4),
+    BenchCase("art-cc-c4", "art", "cc", 4),
+    BenchCase("fem-cc-c4", "fem", "cc", 4),
 )
 
 
@@ -131,6 +140,8 @@ def bench_case(case: BenchCase, preset: str = "tiny",
             "path is broken — fix that before benchmarking it"
         )
     sim_ops = fast.instructions + fast.word_accesses
+    retired = fast.stats.get("sim.phase_iters", 0)
+    dispatched = fast.stats.get("sim.phase_iters_total", 0)
     return {
         **asdict(case),
         "preset": preset,
@@ -143,6 +154,8 @@ def bench_case(case: BenchCase, preset: str = "tiny",
         "sim_ops": sim_ops,
         "sim_ops_per_s": sim_ops / fast_s if fast_s else 0.0,
         "exec_time_fs": fast.exec_time_fs,
+        "phase_iters_retired": retired,
+        "phase_coverage": retired / dispatched if dispatched else 0.0,
     }
 
 
@@ -223,16 +236,45 @@ def render_report(report: dict) -> str:
     from repro.harness.reports import format_table
 
     headers = ["case", "wall_ms", "slow_ms", "speedup", "events",
-               "events/s", "sim_ops/s"]
+               "events/s", "sim_ops/s", "ph_iters", "ph_cov"]
     rows = [
         [c["name"], f"{c['wall_s'] * 1e3:.1f}", f"{c['slow_wall_s'] * 1e3:.1f}",
          f"{c['speedup']:.2f}x", str(c["events"]),
-         f"{c['events_per_s']:,.0f}", f"{c['sim_ops_per_s']:,.0f}"]
+         f"{c['events_per_s']:,.0f}", f"{c['sim_ops_per_s']:,.0f}",
+         str(c.get("phase_iters_retired", 0)),
+         f"{c.get('phase_coverage', 0.0):.0%}"]
         for c in report["cases"]
     ]
     return (f"simulator bench (rev {report['rev']}, preset "
             f"{report['preset']}, best of {report['repeats']})\n"
             + format_table(headers, rows))
+
+
+def render_delta_table(current: dict, baseline: dict) -> str:
+    """Per-case sim-ops/s delta of ``current`` against ``baseline``.
+
+    Informational companion to :func:`compare_reports`: absolute
+    throughput is machine-dependent, so the delta column is advisory on
+    cross-host comparisons, but within one host it is the number the
+    phase engine (and any other simulator optimization) exists to move.
+    """
+    from repro.harness.reports import format_table
+
+    current_by_name = {c["name"]: c for c in current.get("cases", [])}
+    headers = ["case", "base sim_ops/s", "cur sim_ops/s", "delta"]
+    rows = []
+    for base in baseline.get("cases", []):
+        cur = current_by_name.pop(base["name"], None)
+        if cur is None:
+            rows.append([base["name"], f"{base['sim_ops_per_s']:,.0f}",
+                         "-", "missing"])
+            continue
+        b, c = base["sim_ops_per_s"], cur["sim_ops_per_s"]
+        delta = f"{(c / b - 1.0):+.1%}" if b else "n/a"
+        rows.append([base["name"], f"{b:,.0f}", f"{c:,.0f}", delta])
+    for name, cur in current_by_name.items():
+        rows.append([name, "-", f"{cur['sim_ops_per_s']:,.0f}", "new"])
+    return "sim-ops/s vs baseline\n" + format_table(headers, rows)
 
 
 def save_report(report: dict, path) -> None:

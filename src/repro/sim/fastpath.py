@@ -24,11 +24,29 @@ escape hatch is
     REPRO_BLOCKS=0 python -m repro ...
 
 which makes the processor materialize every block back into the plain
-per-op stream, exercising the original dispatch arms unchanged.  The two
-hatches compose: ``REPRO_FASTPATH=0 REPRO_BLOCKS=0`` is the seed's
-execution model, byte for byte.
+per-op stream, exercising the original dispatch arms unchanged.
 
-Both flags are read when a system is constructed, not at import time, so
+The phase engine (PR 8) is the tier above blocks: workloads may yield
+:class:`repro.core.ops.OpPhase` descriptors — a run of K block
+iterations at a constant address stride — that the processor retires in
+one vectorized step when every touched line stays a guaranteed hit
+(counters as ``K x per_iteration`` sums, LRU/stored state via the block
+geometry arithmetic, the quantum-renewal schedule as a prefix-sum
+closed form over the iteration axis).  Its escape hatch is
+
+    REPRO_PHASES=0 python -m repro ...
+
+which makes the processor spill every phase back into per-iteration
+block replays, exercising the block interpreter unchanged.
+
+The three hatches compose into an eight-mode identity matrix (phases x
+blocks x fastpath), every cell bit-identical except ``stats["sim.*"]``
+diagnostics: the phase closed form additionally requires ``REPRO_BLOCKS``
+on (phases retire *block* iterations, so disabling blocks demotes phases
+to spill too), and ``REPRO_FASTPATH=0 REPRO_BLOCKS=0 REPRO_PHASES=0`` is
+the seed's execution model, byte for byte.
+
+All flags are read when a system is constructed, not at import time, so
 tests can toggle them per-run with ``monkeypatch.setenv``.
 """
 
@@ -36,7 +54,8 @@ from __future__ import annotations
 
 import os
 
-#: Values of ``REPRO_FASTPATH`` / ``REPRO_BLOCKS`` that disable the path.
+#: Values of ``REPRO_FASTPATH`` / ``REPRO_BLOCKS`` / ``REPRO_PHASES``
+#: that disable the corresponding path.
 _OFF_VALUES = frozenset({"0", "false", "off", "no"})
 
 
@@ -51,4 +70,10 @@ def fastpath_enabled() -> bool:
 def blocks_enabled() -> bool:
     """True unless ``REPRO_BLOCKS`` is set to 0/false/off/no."""
     raw = os.environ.get("REPRO_BLOCKS", "1")  # repro-lint: disable=REPRO007
+    return raw.strip().lower() not in _OFF_VALUES
+
+
+def phases_enabled() -> bool:
+    """True unless ``REPRO_PHASES`` is set to 0/false/off/no."""
+    raw = os.environ.get("REPRO_PHASES", "1")  # repro-lint: disable=REPRO007
     return raw.strip().lower() not in _OFF_VALUES

@@ -35,6 +35,7 @@ from repro.core.ops import (
     load,
     local_load,
     local_store,
+    phase_runs,
     store,
 )
 from repro.core.sync import Barrier
@@ -191,26 +192,35 @@ class ArtWorkload(Workload):
             return tmpl
 
         def emit_vector(base: int, is_write: bool, start_el: int, count_el: int):
-            """Per-core slice of one whole-vector pass."""
+            """Per-core slice of one whole-vector pass.
+
+            The chunk replays are constant-stride except at the tail, so
+            phase_runs coalesces each pass's full-size chunks into one
+            phase and passes the odd-size tail through as a plain block.
+            """
             if aos and base != regions["w"][0]:
                 # Sparsely strided field accesses.  Each pass touches two
                 # fields of the 64-byte record (they sit on different
                 # cache lines), dragging a whole line per 4 useful bytes.
-                done = 0
-                while done < count_el:
-                    group = min(WORDS_PER_LINE, count_el - done)
-                    yield aos_block(is_write, group).at(
-                        base + (start_el + done) * AOS_STRIDE)
-                    done += group
+                def replays():
+                    done = 0
+                    while done < count_el:
+                        group = min(WORDS_PER_LINE, count_el - done)
+                        yield (aos_block(is_write, group),
+                               base + (start_el + done) * AOS_STRIDE)
+                        done += group
+                yield from phase_runs(replays(), name="art.aos_pass")
             else:
-                addr = base + start_el * WORD_BYTES
-                remaining = count_el * WORD_BYTES
-                while remaining > 0:
-                    span = min(_CHUNK_LINES * LINE_BYTES, remaining)
-                    n_lines, tail = divmod(span, LINE_BYTES)
-                    yield dense_block(is_write, n_lines, tail).at(addr)
-                    addr += span
-                    remaining -= span
+                def replays():
+                    addr = base + start_el * WORD_BYTES
+                    remaining = count_el * WORD_BYTES
+                    while remaining > 0:
+                        span = min(_CHUNK_LINES * LINE_BYTES, remaining)
+                        n_lines, tail = divmod(span, LINE_BYTES)
+                        yield dense_block(is_write, n_lines, tail), addr
+                        addr += span
+                        remaining -= span
+                yield from phase_runs(replays(), name="art.dense_pass")
 
         def make_thread(env: Env):
             core = env.core_id

@@ -29,6 +29,7 @@ from repro.core.ops import (
     load,
     local_load,
     local_store,
+    phase,
     store,
 )
 from repro.core.sync import Barrier
@@ -155,9 +156,16 @@ class FemWorkload(Workload):
                     # lines, so only touched lines ever get written back.
                     ops.append(store(state + cell * CELL_BYTES, CELL_BYTES))
                 groups.append(block(*ops, name="fem.cells"))
+            # One all-static multi-lane phase per timestep (every lane at
+            # delta 0, stride 0): the sweep revisits the same addresses,
+            # so once the state is resident a whole timestep retires as
+            # one closed-form step.  Built once, replayed per step.
+            step = (phase(*((tmpl, 0, 0) for tmpl in groups),
+                          count=1, name="fem.step").op()
+                    if groups else None)
             for _step in range(params["iterations"]):
-                for tmpl in groups:
-                    yield tmpl.at()
+                if step is not None:
+                    yield step
                 yield barrier_wait(barrier)
 
         return Program("fem", [make_thread] * num_cores, arena)

@@ -36,6 +36,7 @@ from repro.core.ops import (
     local_load,
     local_store,
     pfs_store,
+    phase,
     store,
 )
 from repro.core.sync import Barrier
@@ -119,17 +120,27 @@ class FirWorkload(Workload):
 
         def make_thread(env: Env):
             start_line, count = partition(n_lines, num_cores, env.core_id)
-            for i in range(start_line, start_line + count):
-                offset = i * LINE_BYTES
-                if software_prefetch and (i - start_line) % block_lines == 0:
-                    # Hybrid model (Section 7): bulk-prefetch the *next*
-                    # block into the cache while this one is processed.
+            if software_prefetch:
+                # Hybrid model (Section 7): bulk-prefetch the *next*
+                # block into the cache while this one is processed, so
+                # the strip phases in block_lines chunks around the
+                # prefetch primitive.
+                for chunk in range(start_line, start_line + count,
+                                   block_lines):
+                    offset = chunk * LINE_BYTES
                     next_block = offset + block_bytes
                     remaining = (start_line + count) * LINE_BYTES - next_block
                     if remaining > 0:
                         yield bulk_prefetch(input_base + next_block,
                                             min(block_bytes, remaining))
-                yield line_block.at(offset)
+                    chunk_lines = min(block_lines, start_line + count - chunk)
+                    yield phase((line_block, offset, LINE_BYTES),
+                                count=chunk_lines, name="fir.strip").op()
+            elif count:
+                # The whole strip is one constant-stride phase: iteration
+                # k replays the line kernel at (start_line + k) lines.
+                yield phase((line_block, start_line * LINE_BYTES, LINE_BYTES),
+                            count=count, name="fir.strip").op()
             yield barrier_wait(finish)
 
         return Program("fir", [make_thread] * num_cores, arena)

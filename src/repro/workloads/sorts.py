@@ -44,6 +44,8 @@ from repro.core.ops import (
     local_load,
     local_store,
     pfs_store,
+    phase,
+    phase_runs,
     store,
 )
 from repro.core.sync import Barrier
@@ -226,23 +228,33 @@ class BitonicSortWorkload(Workload):
         def make_thread(env: Env):
             core = env.core_id
             for stride, dirty in passes:
+                # The dirty mask is data-dependent, so the replay stream
+                # mixes templates; phase_runs coalesces the (typically
+                # long, on nearly-sorted data) same-template runs into
+                # constant-stride phases and passes isolated lines
+                # through as plain block replays.  One bulk tolist() per
+                # pass: indexing a Python list in the replay generators
+                # is far cheaper than minting a numpy scalar per line.
+                flags = dirty.tolist()
                 if stride >= WORDS_PER_LINE:
                     line_stride = stride // WORDS_PER_LINE
                     lo_lines = [
-                        line for line in range(len(dirty))
+                        line for line in range(len(flags))
                         if (line // line_stride) % 2 == 0
                     ]
                     start, count = partition(len(lo_lines), num_cores, core)
-                    for lo in lo_lines[start:start + count]:
-                        partner = lo + line_stride
-                        yield pair_block(
-                            line_stride, bool(dirty[lo]),
-                            bool(dirty[partner])).at(lo * LINE_BYTES)
+                    yield from phase_runs(
+                        ((pair_block(line_stride, flags[lo],
+                                     flags[lo + line_stride]),
+                          lo * LINE_BYTES)
+                         for lo in lo_lines[start:start + count]),
+                        name="bitonic.pass")
                 else:
-                    start, count = partition(len(dirty), num_cores, core)
-                    for line in range(start, start + count):
-                        yield single_block(
-                            bool(dirty[line])).at(line * LINE_BYTES)
+                    start, count = partition(len(flags), num_cores, core)
+                    yield from phase_runs(
+                        ((single_block(flags[line]), line * LINE_BYTES)
+                         for line in range(start, start + count)),
+                        name="bitonic.pass")
                 yield barrier_wait(barrier)
 
         return Program("bitonic", [make_thread] * num_cores, arena)
@@ -441,12 +453,16 @@ class MergeSortWorkload(Workload):
 
         def make_thread(env: Env):
             core = env.core_id
-            # Phase 1: quicksort chunks in place (cache-resident working set).
+            # Phase 1: quicksort chunks in place (cache-resident working
+            # set).  One two-lane phase covers the whole strip: iteration
+            # c replays the sort sweep then the writeback sweep at chunk
+            # c's offset.
             start, count = partition(n_chunks, num_cores, core)
-            for c in range(start, start + count):
-                offset = c * chunk_bytes
-                yield chunk_read.at(offset)
-                yield chunk_write.at(offset)
+            if count:
+                yield phase(
+                    (chunk_read, start * chunk_bytes, chunk_bytes),
+                    (chunk_write, start * chunk_bytes, chunk_bytes),
+                    count=count, name="merge.qsort").op()
             yield barrier_wait(barrier)
             # Phase 2: merge runs with halving parallelism, ping-pong buffers.
             for level in range(levels):
@@ -456,11 +472,14 @@ class MergeSortWorkload(Workload):
                 n_tasks = n_keys // (2 * run_keys)
                 consume, emit = merge_templates[level]
                 for task in range(core, n_tasks, num_cores):
+                    # Consume one line from each run per iteration, emit
+                    # two output lines: a two-lane phase whose input lane
+                    # steps one line while the output lane steps two.
                     task_base = task * 2 * run_bytes
-                    for line in range(run_lines):
-                        # Consume one line from each run, emit two output lines.
-                        yield consume.at(task_base + line * LINE_BYTES)
-                        yield emit.at(task_base + 2 * line * LINE_BYTES)
+                    yield phase(
+                        (consume, task_base, LINE_BYTES),
+                        (emit, task_base, 2 * LINE_BYTES),
+                        count=run_lines, name="merge.task").op()
                 yield barrier_wait(barrier)
 
         return Program("merge", [make_thread] * num_cores, arena)

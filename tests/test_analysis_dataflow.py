@@ -544,10 +544,12 @@ class TestReportRendering:
     def test_to_dict_schema(self):
         d = self._report().to_dict()
         assert set(d) == {"workload", "model", "cores", "preset", "hazards",
-                          "warnings", "blocks", "candidates", "converted",
-                          "ops_walked", "truncated"}
+                          "warnings", "blocks", "phases", "candidates",
+                          "converted", "phased", "ops_walked", "truncated"}
         for entry in d["blocks"]:
             assert {"name", "replays", "strides", "eligible"} <= set(entry)
+        for entry in d["phases"]:
+            assert {"name", "lanes", "iterations", "eligible"} <= set(entry)
 
     def test_render_reports_text_and_json(self):
         reports = [self._report()]

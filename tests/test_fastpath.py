@@ -23,10 +23,10 @@ def result_in_mode(monkeypatch, fastpath: bool, **kwargs):
 
 
 def comparable(result) -> dict:
-    """The full result record minus the one permitted difference."""
+    """The full result record minus the permitted ``sim.*`` diagnostics."""
     record = result.to_dict()
     record["stats"] = {k: v for k, v in record["stats"].items()
-                       if k != "sim.events"}
+                       if not k.startswith("sim.")}
     return record
 
 

@@ -4,9 +4,9 @@ import json
 
 import pytest
 
-from repro.perf.bench import (BenchCase, bench_case, compare_reports,
-                              load_report, render_report, run_bench,
-                              save_report)
+from repro.perf.bench import (SCHEMA, BenchCase, bench_case, compare_reports,
+                              load_report, render_delta_table, render_report,
+                              run_bench, save_report)
 
 CASE = BenchCase("fir-cc-c1", "fir", "cc", 1)
 
@@ -18,9 +18,10 @@ def make_report(**case_overrides) -> dict:
         "speedup": 3.0, "events": 100, "slow_events": 900,
         "events_per_s": 30000.0, "sim_ops": 500000,
         "sim_ops_per_s": 5e7, "exec_time_fs": 10**12,
+        "phase_iters_retired": 0, "phase_coverage": 0.0,
     }
     case.update(case_overrides)
-    return {"schema": 1, "rev": "test", "preset": "tiny", "repeats": 1,
+    return {"schema": SCHEMA, "rev": "test", "preset": "tiny", "repeats": 1,
             "cases": [case]}
 
 
@@ -36,6 +37,16 @@ class TestBenchCase:
         assert record["slow_events"] >= 3 * record["events"]
         assert record["sim_ops"] > 0
         assert record["exec_time_fs"] > 0
+        # fir dispatches phase descriptors but streams lines that are
+        # never resident, so nothing retires through the closed form.
+        assert record["phase_iters_retired"] == 0
+        assert record["phase_coverage"] == 0.0
+
+    def test_phase_counters_populated_for_resident_case(self):
+        record = bench_case(BenchCase("bitonic-cc-c1", "bitonic", "cc", 1),
+                            preset="tiny", repeats=1)
+        assert record["phase_iters_retired"] > 0
+        assert 0.0 < record["phase_coverage"] <= 1.0
 
     def test_repeats_validated(self):
         with pytest.raises(ValueError):
@@ -111,6 +122,22 @@ class TestReportIo:
         out = render_report(make_report())
         assert "fir-cc-c1" in out
         assert "3.00x" in out
+        assert "ph_cov" in out
+
+
+class TestDeltaTable:
+    def test_delta_against_baseline(self):
+        current = make_report(sim_ops_per_s=6e7)   # +20% vs 5e7
+        out = render_delta_table(current, make_report())
+        assert "fir-cc-c1" in out
+        assert "+20.0%" in out
+
+    def test_missing_and_new_cases_marked(self):
+        current = make_report()
+        current["cases"] = [dict(current["cases"][0], name="new-case")]
+        out = render_delta_table(current, make_report())
+        assert "missing" in out
+        assert "new" in out
 
 
 class TestCli:

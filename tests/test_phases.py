@@ -1,0 +1,450 @@
+"""The phase engine: descriptors, coalescing, and bit-identity.
+
+An :class:`~repro.core.ops.OpPhase` is a promise that yielding the
+phase op means exactly the same thing as yielding its ``count x lanes``
+block replays one by one (iteration-major, lane-minor).  The phase arm
+in :mod:`repro.core.processor` — closed-form retirement of whole
+resident iterations — is an optimization over that meaning, so these
+tests pin both sides: the ``phase()`` / ``phase_runs()`` API, and
+full-record bit-identity across every combination of ``REPRO_PHASES``,
+``REPRO_BLOCKS`` and ``REPRO_FASTPATH`` — with ``stats["sim.*"]`` as
+the single permitted difference, same as the fast-path contract.
+"""
+
+import random
+
+import pytest
+
+from repro import run_workload
+from repro.config import MachineConfig
+from repro.core.ops import (
+    MAX_PHASE_ITERS,
+    block,
+    compute,
+    dma_get,
+    dma_wait,
+    load,
+    phase,
+    phase_runs,
+    store,
+)
+from repro.core.system import CmpSystem
+from repro.harness.experiments import figure2, figure5
+from repro.harness.runner import Runner
+from repro.sim.fastpath import phases_enabled
+from repro.workloads.base import Program
+
+LINE = 32  # MachineConfig default L1 line size
+
+
+def run_threads(*threads, model="cc", observer=None, **cfg_kwargs):
+    cfg = MachineConfig(num_cores=len(threads), **cfg_kwargs).with_model(model)
+    system = CmpSystem(cfg, Program("test", list(threads)))
+    if observer is not None:
+        system.hierarchy.register_observer(observer)
+    return system.run()
+
+
+def comparable(result) -> dict:
+    """The full result record minus the permitted ``sim.*`` diagnostics."""
+    record = result.to_dict()
+    record["stats"] = {k: v for k, v in record["stats"].items()
+                       if not k.startswith("sim.")}
+    return record
+
+
+class TestFlag:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PHASES", raising=False)
+        assert phases_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "no", " NO "])
+    def test_off_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PHASES", value)
+        assert not phases_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes", ""])
+    def test_on_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PHASES", value)
+        assert phases_enabled()
+
+
+BLK = block(compute(5), load(0x100, LINE), store(0x100, LINE))
+
+
+class TestValidation:
+    def test_empty_phase_rejected(self):
+        with pytest.raises(ValueError, match="at least one lane"):
+            phase(count=4)
+
+    @pytest.mark.parametrize("count", [0, -1, 2.0, "4"])
+    def test_bad_count_rejected(self, count):
+        with pytest.raises(ValueError, match="count"):
+            phase((BLK, 0, LINE), count=count)
+
+    def test_oversized_count_rejected(self):
+        with pytest.raises(ValueError, match="MAX_PHASE_ITERS"):
+            phase((BLK, 0, LINE), count=MAX_PHASE_ITERS + 1)
+
+    @pytest.mark.parametrize("lane", [
+        (compute(1), 0, LINE),         # not an OpBlock
+        (BLK, 0),                      # wrong arity
+        "lane",                        # not a tuple
+    ])
+    def test_bad_lane_rejected(self, lane):
+        with pytest.raises(ValueError, match="lane"):
+            phase(lane, count=2)
+
+    def test_non_int_base_or_stride_rejected(self):
+        with pytest.raises(ValueError, match="ints"):
+            phase((BLK, 0.0, LINE), count=2)
+        with pytest.raises(ValueError, match="ints"):
+            phase((BLK, 0, 32.0), count=2)
+
+    def test_negative_delta_rejected_at_both_ends(self):
+        # min_addr of BLK is 0x100; a base of -0x200 underflows at k=0,
+        # and a descending stride underflows at k=count-1.
+        with pytest.raises(ValueError, match="negative"):
+            phase((BLK, -0x200, LINE), count=2)
+        with pytest.raises(ValueError, match="negative"):
+            phase((BLK, 0, -LINE), count=10)
+        # Descending but in-bounds is fine.
+        ph = phase((BLK, 4 * LINE, -LINE), count=4)
+        assert ph.count == 4
+
+    def test_op_shape(self):
+        ph = phase((BLK, 0, LINE), count=3)
+        assert ph.op() == ("ph", ph)
+
+    def test_replays_are_the_semantics(self):
+        other = block(compute(1), load(0x40, LINE))
+        ph = phase((BLK, 0, LINE), (other, 0x1000, 2 * LINE), count=3)
+        assert ph.replays() == [
+            ("blk", BLK, 0), ("blk", other, 0x1000),
+            ("blk", BLK, LINE), ("blk", other, 0x1000 + 2 * LINE),
+            ("blk", BLK, 2 * LINE), ("blk", other, 0x1000 + 4 * LINE),
+        ]
+        assert ph.replays(start=2) == ph.replays()[4:]
+        assert ph.replays(start=1, stop=2) == ph.replays()[2:4]
+
+
+class TestRebase:
+    def test_multi_lane_rejected(self):
+        other = block(compute(1), load(0x40, LINE))
+        ph = phase((BLK, 0, LINE), (other, 0, LINE), count=2)
+        with pytest.raises(ValueError, match="single-lane"):
+            ph.rebase(0x100, 4)
+
+    def test_shares_schedule_and_geometry_cache(self):
+        proto = phase((BLK, 0, LINE), count=8)
+        proto.geometry(5)                    # populate the cache
+        stamped = proto.rebase(0x1000, 3)
+        assert stamped.lanes == ((BLK, 0x1000, LINE),)
+        assert stamped.count == 3
+        assert stamped.iter_cycles == proto.iter_cycles
+        assert stamped.iter_prefix is proto.iter_prefix
+        assert stamped._geometries is proto._geometries
+        assert stamped.geometry(5) is proto.geometry(5)
+
+    def test_recomputes_base_dependent_fields(self):
+        proto = phase((BLK, 0, LINE), count=8)
+        stamped = proto.rebase(0x30, 0)      # misaligned base
+        assert stamped.align_or == 0x30 | LINE
+        static = proto.rebase(0x1000, 2)
+        assert not static.all_static
+        assert phase((BLK, 0, 0), count=2).rebase(0x40, 2).all_static
+
+
+def expand(op_stream):
+    """Flatten a phase_runs output stream back to plain block replays."""
+    out = []
+    for op in op_stream:
+        if op[0] == "ph":
+            out.extend(op[1].replays())
+        else:
+            out.append(op)
+    return out
+
+
+class TestPhaseRuns:
+    def test_constant_stride_run_coalesces(self):
+        replays = [(BLK, k * LINE) for k in range(16)]
+        ops = list(phase_runs(iter(replays), name="run"))
+        assert len(ops) == 1 and ops[0][0] == "ph"
+        ph = ops[0][1]
+        assert ph.lanes == ((BLK, 0, LINE),)
+        assert ph.count == 16
+        assert ph.name == "run"
+
+    def test_singleton_stays_plain_block(self):
+        ops = list(phase_runs(iter([(BLK, 0x40)])))
+        assert ops == [("blk", BLK, 0x40)]
+
+    def test_template_change_splits_runs(self):
+        other = block(compute(1), load(0x40, LINE))
+        replays = ([(BLK, k * LINE) for k in range(4)]
+                   + [(other, k * LINE) for k in range(4)])
+        ops = list(phase_runs(iter(replays)))
+        assert [op[0] for op in ops] == ["ph", "ph"]
+        assert ops[0][1].lanes[0][0] is BLK
+        assert ops[1][1].lanes[0][0] is other
+
+    def test_stride_change_splits_runs(self):
+        replays = [(BLK, d) for d in (0, LINE, 2 * LINE,   # stride LINE
+                                      8 * LINE, 10 * LINE)]  # stride 2*LINE
+        ops = list(phase_runs(iter(replays)))
+        assert [op[0] for op in ops] == ["ph", "ph"]
+        assert ops[0][1].count == 3
+        assert ops[1][1].count == 2
+        assert ops[1][1].lanes == ((BLK, 8 * LINE, 2 * LINE),)
+
+    def test_later_runs_are_rebased_stamps(self):
+        # Two separate runs over the same (template, stride) pair must
+        # share one prototype's schedule and geometry cache.
+        breaker = block(compute(1), load(0x40, LINE))
+        replays = ([(BLK, k * LINE) for k in range(4)]
+                   + [(breaker, 0x5000)]
+                   + [(BLK, 0x8000 + k * LINE) for k in range(6)])
+        ops = list(phase_runs(iter(replays)))
+        phases = [op[1] for op in ops if op[0] == "ph"]
+        assert len(phases) == 2
+        assert phases[0]._geometries is phases[1]._geometries
+        assert phases[1].lanes == ((BLK, 0x8000, LINE),)
+
+    def test_expansion_is_semantically_identical(self):
+        rng = random.Random(7)
+        other = block(compute(3), load(0, LINE))
+        replays = []
+        delta = 0
+        for _ in range(200):
+            tmpl = BLK if rng.random() < 0.7 else other
+            delta += rng.choice([0, LINE, LINE, 4 * LINE])
+            replays.append((tmpl, delta))
+        expected = [("blk", tmpl, d) for tmpl, d in replays]
+        assert expand(phase_runs(iter(replays))) == expected
+
+
+class TestReplayIdentity:
+    """A phase means exactly its replay stream, in every mode."""
+
+    COUNT = 48
+    STRIDE = 2 * LINE
+
+    def make_threads(self):
+        blk = block(compute(20), load(0x1000, LINE), compute(10),
+                    store(0x1000, LINE), name="kernel")
+
+        def phased(env):
+            # Three dispatches of the same region: the first runs cold
+            # (spills at the first non-resident line), the rest retire
+            # warm through the closed form.
+            for _ in range(3):
+                yield phase((blk, 0, self.STRIDE), count=self.COUNT).op()
+
+        def per_block(env):
+            for _ in range(3):
+                ph = phase((blk, 0, self.STRIDE), count=self.COUNT)
+                yield from ph.replays()
+
+        def materialized(env):
+            for _ in range(3):
+                for k in range(self.COUNT):
+                    yield from blk.materialize(k * self.STRIDE)
+
+        return phased, per_block, materialized
+
+    def test_three_ways_bit_identical(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PHASES", raising=False)
+        phased, per_block, materialized = self.make_threads()
+        records = [comparable(run_threads(t))
+                   for t in (phased, per_block, materialized)]
+        assert records[0] == records[1] == records[2]
+
+    def test_random_phases_three_ways(self, monkeypatch):
+        # Property test: random eligible single-lane phases (the shape
+        # phase_runs mints) replayed as descriptors, as block streams,
+        # and fully materialized must agree bit for bit.
+        monkeypatch.delenv("REPRO_PHASES", raising=False)
+        rng = random.Random(1234)
+        specs = []
+        for _ in range(10):
+            n_lines = rng.choice([1, 1, 2])       # one- and two-line blocks
+            dirty = rng.random() < 0.5
+            cycles = rng.randrange(2, 60)
+            stride = rng.choice([0, LINE, 2 * LINE, -LINE]) * n_lines
+            count = rng.randrange(2, 40)
+            base = 0x2000 + rng.randrange(8) * LINE
+            if stride < 0:
+                base += count * -stride           # keep deltas in bounds
+            specs.append((n_lines, dirty, cycles, base, stride, count))
+
+        def build_blk(n_lines, dirty, cycles):
+            ops = [load(0x400, n_lines * LINE), compute(cycles)]
+            if dirty:
+                ops.append(store(0x400, n_lines * LINE))
+            return block(*ops)
+
+        def phased(env):
+            for n_lines, dirty, cycles, base, stride, count in specs:
+                blk = build_blk(n_lines, dirty, cycles)
+                yield phase((blk, base, stride), count=count).op()
+
+        def per_block(env):
+            for n_lines, dirty, cycles, base, stride, count in specs:
+                blk = build_blk(n_lines, dirty, cycles)
+                yield from phase((blk, base, stride), count=count).replays()
+
+        def materialized(env):
+            for n_lines, dirty, cycles, base, stride, count in specs:
+                blk = build_blk(n_lines, dirty, cycles)
+                for k in range(count):
+                    yield from blk.materialize(base + k * stride)
+
+        records = [comparable(run_threads(t))
+                   for t in (phased, per_block, materialized)]
+        assert records[0] == records[1] == records[2]
+
+    def test_quantum_straddle_matches_escape_hatch(self, monkeypatch):
+        # One long phase spans many 200-cycle quanta, so closed-form
+        # retirement must reproduce the renewal schedule exactly
+        # (_limit_after_phase), including the mid-iteration boundary.
+        def thread(env):
+            blk = block(compute(33), load(0x1000, LINE), store(0x1000, LINE))
+            yield phase((blk, 0, LINE), count=200).op()
+            yield phase((blk, 0, LINE), count=200).op()
+
+        # Force the whole stack on for the retiring side: phases demote
+        # when blocks or the fast path are off (e.g. in the CI slow-path
+        # smoke, which exports all three hatches).
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        monkeypatch.setenv("REPRO_BLOCKS", "1")
+        monkeypatch.setenv("REPRO_PHASES", "1")
+        on = run_threads(thread)
+        monkeypatch.setenv("REPRO_PHASES", "0")
+        off = run_threads(thread)
+        assert comparable(on) == comparable(off)
+        assert on.stats["sim.phase_iters"] > 0
+        assert off.stats["sim.phase_iters"] == 0
+
+    def test_dma_lane_spills_and_matches(self, monkeypatch):
+        # DMA-bearing lanes have no arithmetic cycle schedule
+        # (iter_cycles is None): the phase must spill to the block
+        # interpreter and still replay identically.
+        def thread(env):
+            env.local_store.alloc(256, "buf")
+            blk = block(dma_get(1, 0x4000, 256), dma_wait(1),
+                        compute(50))
+            yield phase((blk, 0, 256), count=6).op()
+
+        monkeypatch.setenv("REPRO_PHASES", "1")
+        on = run_threads(thread, model="str")
+        monkeypatch.setenv("REPRO_PHASES", "0")
+        off = run_threads(thread, model="str")
+        assert comparable(on) == comparable(off)
+        assert on.stats["sim.phase_iters"] == 0
+
+    def test_observer_attach_deoptimizes(self, monkeypatch):
+        # A per-access observer makes hierarchy.fastpath_safe false;
+        # phases must spill (retiring in closed form would skip the
+        # observer's callbacks) while the record stays identical.
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        monkeypatch.setenv("REPRO_BLOCKS", "1")
+        monkeypatch.setenv("REPRO_PHASES", "1")
+        phased, _, _ = self.make_threads()
+        seen = []
+
+        def observer(kind, core, line, now_fs, hierarchy):
+            seen.append(kind)
+
+        watched = run_threads(phased, observer=observer)
+        plain = run_threads(phased)
+        assert watched.stats["sim.phase_iters"] == 0
+        assert plain.stats["sim.phase_iters"] > 0
+        assert seen
+        assert comparable(watched) == comparable(plain)
+
+
+class TestEightModeIdentity:
+    """phases x blocks x fastpath: all eight interpreters, one answer."""
+
+    MODES = [(phases, blocks, fastpath)
+             for phases in ("1", "0")
+             for blocks in ("1", "0")
+             for fastpath in ("1", "0")]
+
+    @pytest.mark.parametrize("workload,model,cores", [
+        ("bitonic", "cc", 4),
+        ("merge", "cc", 4),
+        ("fir", "str", 1),
+    ])
+    def test_full_record_identical_in_all_modes(self, monkeypatch, workload,
+                                                model, cores):
+        records = []
+        for phases, blocks, fastpath in self.MODES:
+            monkeypatch.setenv("REPRO_PHASES", phases)
+            monkeypatch.setenv("REPRO_BLOCKS", blocks)
+            monkeypatch.setenv("REPRO_FASTPATH", fastpath)
+            records.append(comparable(run_workload(
+                workload, model=model, cores=cores, preset="tiny")))
+        assert all(r == records[0] for r in records[1:])
+
+
+class TestCounters:
+    def run_bitonic(self, monkeypatch, phases):
+        # Blocks and the fast path must be on for phases to retire, so
+        # pin them against ambient escape-hatch env (CI slow-path smoke).
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        monkeypatch.setenv("REPRO_BLOCKS", "1")
+        monkeypatch.setenv("REPRO_PHASES", phases)
+        return run_workload("bitonic", model="cc", cores=1, preset="tiny")
+
+    def test_bitonic_retires_phases(self, monkeypatch):
+        result = self.run_bitonic(monkeypatch, "1")
+        retired = result.stats["sim.phase_iters"]
+        total = result.stats["sim.phase_iters_total"]
+        assert 0 < retired <= total
+
+    def test_total_is_mode_independent(self, monkeypatch):
+        # sim.phase_iters_total counts *dispatched* iterations, once per
+        # descriptor: the workload's op stream, not the execution mode,
+        # determines it.
+        on = self.run_bitonic(monkeypatch, "1")
+        off = self.run_bitonic(monkeypatch, "0")
+        total = on.stats["sim.phase_iters_total"]
+        assert total > 0
+        assert off.stats["sim.phase_iters_total"] == total
+        assert off.stats["sim.phase_iters"] == 0
+
+    def test_fir_dispatches_but_never_retires(self, monkeypatch):
+        # fir streams lines that are never already resident, so its
+        # phases always spill at the residency gate — by design.
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        monkeypatch.setenv("REPRO_BLOCKS", "1")
+        monkeypatch.setenv("REPRO_PHASES", "1")
+        result = run_workload("fir", model="cc", cores=1, preset="tiny")
+        assert result.stats["sim.phase_iters_total"] > 0
+        assert result.stats["sim.phase_iters"] == 0
+
+
+class TestExperimentTables:
+    """Whole experiment tables (restricted rows, tiny preset) across modes."""
+
+    def rows_in_mode(self, monkeypatch, phases, build):
+        monkeypatch.setenv("REPRO_PHASES", phases)
+        return build(Runner(preset="tiny")).rows
+
+    def test_figure2_rows_identical(self, monkeypatch):
+        def build(runner):
+            return figure2(runner, workloads=["bitonic"], core_counts=(1, 4))
+
+        on = self.rows_in_mode(monkeypatch, "1", build)
+        off = self.rows_in_mode(monkeypatch, "0", build)
+        assert on == off
+
+    def test_figure5_rows_identical(self, monkeypatch):
+        def build(runner):
+            return figure5(runner, workloads=["merge"], clocks=(0.8,))
+
+        on = self.rows_in_mode(monkeypatch, "1", build)
+        off = self.rows_in_mode(monkeypatch, "0", build)
+        assert on == off

@@ -67,6 +67,12 @@ def drain_ops(program, system, limit=50000):
                 queue = op[1]
                 value = queue._items.popleft() if queue._items else None
                 continue
+            if op[0] == "ph":
+                for _, blk, delta in op[1].replays():
+                    for sub in blk.materialize(delta):
+                        emitted += 1
+                        yield sub
+                continue
             if op[0] == "blk":
                 for sub in op[1].materialize(op[2]):
                     emitted += 1
