@@ -11,6 +11,7 @@ Usage::
     python -m repro grid sweep figure2 table3 --preset tiny --jobs 4
     python -m repro serve start --socket .repro-serve.sock --jobs 4
     python -m repro perf bench --preset tiny --jobs 2
+    python -m repro tune fir merge --preset tiny --budget 24
     python -m repro run fir --model cc --cores 1 --preset tiny --cprofile
 
 ``figureN`` / ``table3`` commands print the experiment's paper-style
@@ -139,6 +140,14 @@ def _build_parser() -> argparse.ArgumentParser:
              "result store; see 'python -m repro serve --help'")
     serve_p.add_argument("serve_args", nargs=argparse.REMAINDER,
                          help="arguments forwarded to repro.serve")
+
+    tune_p = sub.add_parser(
+        "tune",
+        help="design-space autotuner: search MachineConfig space for "
+             "the perf/energy Pareto frontier; "
+             "see 'python -m repro tune --help'")
+    tune_p.add_argument("tune_args", nargs=argparse.REMAINDER,
+                        help="arguments forwarded to repro.tune")
     return parser
 
 
@@ -202,6 +211,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(args.serve_args)
+    if args.command == "tune":
+        from repro.tune.cli import main as tune_main
+
+        return tune_main(args.tune_args)
     if args.command == "list":
         for name in workload_names():
             print(name)

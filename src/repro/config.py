@@ -344,6 +344,51 @@ class MachineConfig:
         """Copy with the runtime invariant monitors on (or off)."""
         return self.with_(debug_invariants=enabled)
 
+    def with_overrides(self, overrides: dict) -> "MachineConfig":
+        """Copy with dotted-path field overrides applied.
+
+        Keys are either top-level field names (``"quantum_cycles"``) or
+        ``"block.field"`` paths into the nested config blocks
+        (``"l1.capacity_bytes"``, ``"dram.channels"``,
+        ``"prefetch.depth"``, ...).  This is the generic knob surface the
+        design-space tuner (:mod:`repro.tune`) sweeps through
+        :class:`~repro.grid.spec.RunSpec.config_overrides`; each nested
+        block is rebuilt with ``dataclasses.replace`` so its own
+        validation runs.  Unknown blocks or fields raise
+        :class:`ValueError` rather than silently changing nothing.
+        """
+        grouped: dict[str, dict] = {}
+        top: dict[str, object] = {}
+        for path, value in overrides.items():
+            if "." in path:
+                block, field_name = path.split(".", 1)
+                grouped.setdefault(block, {})[field_name] = value
+            else:
+                top[path] = value
+        field_names = {f.name for f in dataclasses.fields(self)}
+        changes: dict[str, object] = {}
+        for block, block_fields in grouped.items():
+            if block not in field_names:
+                raise ValueError(
+                    f"unknown configuration block {block!r} in override "
+                    f"{block}.{next(iter(block_fields))!r}")
+            current = getattr(self, block)
+            if not dataclasses.is_dataclass(current):
+                raise ValueError(
+                    f"configuration field {block!r} is not a block; "
+                    f"override it directly")
+            try:
+                changes[block] = replace(current, **block_fields)
+            except TypeError as exc:
+                raise ValueError(
+                    f"bad override field(s) for block {block!r}: {exc}"
+                ) from None
+        for name, value in top.items():
+            if name not in field_names:
+                raise ValueError(f"unknown configuration field {name!r}")
+            changes[name] = value
+        return self.with_(**changes) if changes else self
+
 
     # ------------------------------------------------------------------
     # Serialization

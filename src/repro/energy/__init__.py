@@ -11,10 +11,16 @@ scaled interconnect measurements, and DRAMsim-derived DRAM energy, all at
   the streaming local store does not),
 * :mod:`repro.energy.model` — per-event energy accounting over the
   counters a finished simulation exposes, yielding the Figure 4
-  categories (core, I-cache, D-cache, local memory, network, L2, DRAM).
+  categories (core, I-cache, D-cache, local memory, network, L2, DRAM),
+* :mod:`repro.energy.area` — first-order 90 nm silicon area pricing of
+  a full :class:`~repro.config.MachineConfig`, the feasibility
+  constraint the design-space tuner (:mod:`repro.tune`) screens
+  candidates against before spending simulation budget on them.
 """
 
+from repro.energy.area import machine_area_mm2, sram_area_mm2
 from repro.energy.cacti import SramEnergy, sram_energy
 from repro.energy.model import EnergyModel, EnergyParams
 
-__all__ = ["SramEnergy", "sram_energy", "EnergyModel", "EnergyParams"]
+__all__ = ["SramEnergy", "sram_energy", "EnergyModel", "EnergyParams",
+           "machine_area_mm2", "sram_area_mm2"]

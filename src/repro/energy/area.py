@@ -1,0 +1,102 @@
+"""First-order silicon area model (90 nm) for design-space constraints.
+
+The design-space tuner (:mod:`repro.tune`) needs a pre-simulation
+feasibility test: "does this MachineConfig even fit the area budget?".
+Following the constraint formulation of Yavits et al. (*Cache Hierarchy
+Optimization*), chip area is a resource shared between cores, cache,
+and I/O — growing one level of the hierarchy must pay for itself
+against the others.  This module prices a :class:`MachineConfig` in
+mm² with the same first-order scaling the CACTI-flavoured energy model
+uses (:mod:`repro.energy.cacti`):
+
+* **SRAM arrays** scale linearly with capacity (90 nm 6T cell plus a
+  fixed array-efficiency factor for decoders/sense-amps), with a
+  per-way tag overhead for tagged arrays — a local store is cheaper
+  than a cache of the same capacity, which is exactly the trade the
+  paper's streaming model makes;
+* **cores** are a per-core constant (Tensilica-LX-class 3-way VLIW);
+* **interconnect** charges per cluster bus and crossbar port;
+* **DRAM channels** each pay a PHY/pad constant, which is what makes
+  "just add channels" a real design decision instead of a free knob.
+
+Absolute numbers are calibrated to land in the plausible 90 nm range
+(a Table 2 baseline 8-core CC machine comes out around 60 mm²); as with
+the energy constants, the *ordering* between configurations is what the
+tuner consumes.
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig, MemoryModel
+
+#: 90 nm 6T SRAM cell, mm² per byte (≈1.0 µm²/bit), including a 1.45×
+#: array-efficiency factor for decoders, sense-amps, and wiring.
+_SRAM_MM2_PER_BYTE = 8 * 1.0e-6 * 1.45
+#: Extra tag-array area per way, as a fraction of the data array of a
+#: 32-byte-line cache (tag + state bits ≈ 9% of a line per way pair).
+_TAG_FRACTION_PER_WAY = 0.018
+#: One 3-way VLIW core, register files and pipeline, no caches.
+_CORE_MM2 = 1.6
+#: One cluster bus / one crossbar port pair.
+_BUS_MM2 = 0.35
+_XBAR_PORT_MM2 = 0.45
+#: One DRAM channel: PHY, pads, and the controller queue.
+_DRAM_CHANNEL_MM2 = 4.5
+
+
+def sram_area_mm2(capacity_bytes: int, associativity: int = 1,
+                  tagged: bool = True) -> float:
+    """Area of one SRAM array in mm² (90 nm).
+
+    ``tagged=False`` models a directly indexed local store — no tag
+    array or comparators, mirroring :func:`repro.energy.cacti.sram_energy`.
+    """
+    if capacity_bytes <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+    if associativity <= 0:
+        raise ValueError(
+            f"associativity must be positive, got {associativity}")
+    data_mm2 = capacity_bytes * _SRAM_MM2_PER_BYTE
+    tag_mm2 = data_mm2 * _TAG_FRACTION_PER_WAY * associativity if tagged \
+        else 0.0
+    return data_mm2 + tag_mm2
+
+
+def machine_area_mm2(config: MachineConfig) -> dict[str, float]:
+    """Per-component area breakdown of a machine, in mm².
+
+    Returns a dict with one entry per component class plus ``"total"``.
+    The first-level data storage follows the active memory model: the
+    32 KB D-cache under CC, the local store plus the 8 KB stream cache
+    under STR (Table 2's two first-level options).
+    """
+    cores = config.num_cores
+    core_mm2 = cores * _CORE_MM2
+    icache_mm2 = cores * sram_area_mm2(config.icache.capacity_bytes,
+                                       config.icache.associativity)
+    if config.model is MemoryModel.STREAMING:
+        l1_mm2 = cores * (
+            sram_area_mm2(config.stream.local_store_bytes, tagged=False)
+            + sram_area_mm2(config.stream_l1.capacity_bytes,
+                            config.stream_l1.associativity))
+    else:
+        l1_mm2 = cores * sram_area_mm2(config.l1.capacity_bytes,
+                                       config.l1.associativity)
+    l2_mm2 = sram_area_mm2(config.l2.capacity_bytes,
+                           config.l2.associativity)
+    network_mm2 = (config.num_clusters * _BUS_MM2
+                   + (config.num_clusters + 1) * _XBAR_PORT_MM2)
+    dram_mm2 = config.dram.channels * _DRAM_CHANNEL_MM2
+    breakdown = {
+        "core": core_mm2,
+        "icache": icache_mm2,
+        "l1": l1_mm2,
+        "l2": l2_mm2,
+        "network": network_mm2,
+        "dram_io": dram_mm2,
+    }
+    breakdown["total"] = sum(breakdown.values())
+    return breakdown
+
+
+__all__ = ["sram_area_mm2", "machine_area_mm2"]

@@ -287,6 +287,17 @@ class GridScheduler:
             executor.shutdown(wait=False, cancel_futures=True)
             progress.close()
 
+    def run_batch(self, specs) -> dict[str, RunOutcome]:
+        """Settle one batch of specs; returns ``{content_key: outcome}``.
+
+        The batched-submission surface for callers that drive the grid
+        round by round (the design-space tuner's screen/refine loop):
+        every unique spec settles — store hit or executed — before the
+        call returns, and the mapping lets the caller re-order the
+        completion-ordered stream back into its own candidate order.
+        """
+        return {outcome.key: outcome for outcome in self.map(specs)}
+
     # -- internals -------------------------------------------------------
 
     def _settle(self, key, spec, payload, attempts, executor, futures,
@@ -347,10 +358,21 @@ class GridScheduler:
 # ----------------------------------------------------------------------
 
 class _PlannerStats(dict):
-    """Stats mapping that answers every key, so planning never KeyErrors."""
+    """Stats mapping that answers every key, so planning never KeyErrors.
+
+    ``dict.get`` never consults ``__missing__``, so without the override
+    below experiment code written as ``stats.get(key, 0)`` would see an
+    inconsistent 0 while planning even though ``stats[key]`` answers
+    1.0.  Plan-mode stats must be uniform either way: every lookup —
+    subscript or ``get``, any default — answers the same placeholder.
+    """
 
     def __missing__(self, key):
         return 1.0
+
+    def get(self, key, default=None):
+        """Answer like ``stats[key]`` — the default is never needed."""
+        return self[key]
 
 
 def _synthetic_result(spec: RunSpec) -> RunResult:

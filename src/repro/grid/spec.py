@@ -22,7 +22,18 @@ from repro.grid import keys
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One simulation request, fully specified and serializable."""
+    """One simulation request, fully specified and serializable.
+
+    ``overrides`` are *workload* overrides (forwarded to the workload
+    build); ``config_overrides`` are *machine* overrides — a dict of
+    dotted config paths applied via
+    :meth:`repro.config.MachineConfig.with_overrides`
+    (``{"l1.capacity_bytes": 65536, "dram.channels": 4}``).  They make
+    every MachineConfig field the design-space tuner sweeps addressable
+    through the same store/scheduler fabric as the classic sweep knobs;
+    the content key hashes the *expanded* config, so two spellings of
+    the same machine share one store record.
+    """
 
     workload: str
     model: str = "cc"
@@ -33,6 +44,7 @@ class RunSpec:
     prefetch_depth: int = 4
     preset: str = "default"
     overrides: dict | None = None
+    config_overrides: dict | None = None
 
     def to_config(self):
         """Expand the sweep knobs into the full :class:`MachineConfig`."""
@@ -43,6 +55,8 @@ class RunSpec:
         config = config.with_bandwidth(self.bandwidth_gbps)
         if self.prefetch:
             config = config.with_prefetch(depth=self.prefetch_depth)
+        if self.config_overrides:
+            config = config.with_overrides(self.config_overrides)
         return config
 
     def execute(self):
@@ -93,7 +107,8 @@ class RunSpec:
         """Cheap hashable key for in-process memo dictionaries."""
         return (self.workload, self.model, self.cores, self.clock_ghz,
                 self.bandwidth_gbps, self.prefetch, self.prefetch_depth,
-                self.preset, keys.freeze(self.overrides or {}))
+                self.preset, keys.freeze(self.overrides or {}),
+                keys.freeze(self.config_overrides or {}))
 
     def content_key(self) -> str:
         """Stable store address: hash of the full expanded configuration."""
@@ -117,11 +132,17 @@ class RunSpec:
             "preset": self.preset,
             "overrides": keys.jsonable(self.overrides) if self.overrides
                          else None,
+            "config_overrides": keys.jsonable(self.config_overrides)
+                                if self.config_overrides else None,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
-        """Rebuild a spec written by :meth:`to_dict`."""
+        """Rebuild a spec written by :meth:`to_dict`.
+
+        Records written before ``config_overrides`` existed simply omit
+        the key; the dataclass default covers them.
+        """
         return cls(**data)
 
     def label(self) -> str:
@@ -132,6 +153,10 @@ class RunSpec:
             parts.append(f"pf{self.prefetch_depth}")
         if self.overrides:
             parts.append("+" + ",".join(sorted(map(str, self.overrides))))
+        if self.config_overrides:
+            parts.append("cfg{" + ",".join(
+                f"{k}={v}" for k, v in sorted(self.config_overrides.items()))
+                + "}")
         parts.append(f"[{self.preset}]")
         return " ".join(parts)
 

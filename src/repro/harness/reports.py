@@ -74,3 +74,37 @@ def render_stacked_bars(rows: list[dict], label_cols: list[str],
         bar = bar[:width].ljust(width)
         lines.append(f"{label.ljust(label_width)} |{bar}| {total:.3f}")
     return "\n".join(lines)
+
+
+def render_scatter(points: list[dict], x: str, y: str, marker: str = "marker",
+                   width: int = 56, height: int = 16) -> str:
+    """ASCII scatter plot of ``points`` (dicts with ``x``/``y`` columns).
+
+    Each point may carry a one-character ``marker`` (default ``.``);
+    later points overwrite earlier ones in the same cell, so draw the
+    emphasized series (e.g. a Pareto frontier, marker ``*``) last.
+    Axis extents are printed under the frame.  Deterministic: output
+    depends only on the input order and values.
+    """
+    plotted = [p for p in points
+               if p.get(x) is not None and p.get(y) is not None]
+    if not plotted:
+        return "(no points)"
+    xs = [float(p[x]) for p in plotted]
+    ys = [float(p[y]) for p in plotted]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for p, px, py in zip(plotted, xs, ys):
+        col = min(width - 1, int((px - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((py - y_lo) / y_span * (height - 1)))
+        mark = str(p.get(marker) or ".")[:1]
+        grid[height - 1 - row][col] = mark
+    lines = [f"|{''.join(row)}|" for row in grid]
+    lines.insert(0, "+" + "-" * width + "+")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"{x}: {_fmt(x_lo)} .. {_fmt(x_hi)}   "
+                 f"{y}: {_fmt(y_lo)} .. {_fmt(y_hi)} (bottom..top)")
+    return "\n".join(lines)

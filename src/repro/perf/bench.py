@@ -5,8 +5,9 @@ this one measures the *simulator*, so the run-until-miss fast path
 (:mod:`repro.sim.fastpath`) and the event-kernel micro-optimizations
 stay fast as the codebase grows.  ``python -m repro perf bench`` times a
 fixed set of workload/model/core-count cases twice per case — once with
-the fast path enabled and once with ``REPRO_FASTPATH=0`` — and writes a
-``BENCH_<rev>.json`` report with, per case:
+every acceleration hatch enabled (``REPRO_FASTPATH``, ``REPRO_BLOCKS``,
+``REPRO_PHASES`` all ``1``) and once with all of them disabled — and
+writes a ``BENCH_<rev>.json`` report with, per case:
 
 * best-of-N wall time in both modes and the fast/slow **speedup**,
 * **events/sec** and **simulated-ops/sec** (dispatch and retirement
@@ -42,8 +43,12 @@ from dataclasses import asdict, dataclass
 #: Report schema version (bump when the JSON layout changes).
 SCHEMA = 2
 
-#: Environment variable read by :mod:`repro.sim.fastpath`.
-_FASTPATH_VAR = "REPRO_FASTPATH"
+#: Every acceleration hatch the simulator reads at construction time.
+#: The bench pins ALL of them — fast leg all-on, slow leg all-off — so
+#: an ambient ``REPRO_BLOCKS=0`` or ``REPRO_PHASES=0`` in the caller's
+#: environment cannot silently cripple the fast leg and corrupt the
+#: speedup gate.
+_HATCH_VARS = ("REPRO_FASTPATH", "REPRO_BLOCKS", "REPRO_PHASES")
 
 #: Baseline speedups below this are inside host timing noise (the case is
 #: miss-path bound, so the fast path barely moves its wall time); gating
@@ -100,19 +105,21 @@ def current_rev(default: str = "local") -> str:
 
 
 def _run_case(case: BenchCase, preset: str, fastpath: bool):
-    """One simulation of ``case`` with the fast path forced on or off."""
+    """One simulation of ``case`` with every hatch forced on or off."""
     from repro import run_workload
 
-    saved = os.environ.get(_FASTPATH_VAR)
-    os.environ[_FASTPATH_VAR] = "1" if fastpath else "0"
+    saved = {var: os.environ.get(var) for var in _HATCH_VARS}
+    for var in _HATCH_VARS:
+        os.environ[var] = "1" if fastpath else "0"
     try:
         return run_workload(case.workload, model=case.model,
                             cores=case.cores, preset=preset)
     finally:
-        if saved is None:
-            del os.environ[_FASTPATH_VAR]
-        else:
-            os.environ[_FASTPATH_VAR] = saved
+        for var, value in saved.items():
+            if value is None:
+                del os.environ[var]
+            else:
+                os.environ[var] = value
 
 
 def _time_case(case: BenchCase, preset: str, repeats: int, fastpath: bool):

@@ -1,0 +1,35 @@
+"""Design-space autotuner over the grid fabric (``python -m repro tune``).
+
+Searches the :class:`~repro.config.MachineConfig` space — first-level
+cache capacity/associativity, L2 geometry, prefetch depth, DRAM
+channels, core count, CC vs STR — for the perf/energy Pareto frontier
+of a workload set, under a probe budget and optional area/energy caps:
+
+* :mod:`repro.tune.space` — the design lattice and its RunSpec mapping,
+* :mod:`repro.tune.prior` — the calibrated analytical prior (after
+  Yavits et al.) that ranks and prunes candidates,
+* :mod:`repro.tune.frontier` — candidates and the Pareto sweep,
+* :mod:`repro.tune.search` — calibrate / screen / refine over the
+  :class:`~repro.grid.scheduler.GridScheduler` or a ``repro.serve``
+  server; every probe is content-addressed, so searches resume from
+  the store and warm re-runs launch nothing,
+* :mod:`repro.tune.report` — the frontier table, scatter, and
+  prior-vs-measured validation block.
+"""
+
+from repro.tune.frontier import Candidate, pareto_frontier
+from repro.tune.prior import Calibration, Prior, spearman_rank_correlation
+from repro.tune.search import (
+    GridExecutor,
+    ServeExecutor,
+    TuneError,
+    TuneResult,
+    tune,
+)
+from repro.tune.space import AXES, DEFAULT_VALUES, DesignPoint, DesignSpace
+
+__all__ = [
+    "AXES", "DEFAULT_VALUES", "Calibration", "Candidate", "DesignPoint",
+    "DesignSpace", "GridExecutor", "Prior", "ServeExecutor", "TuneError",
+    "TuneResult", "pareto_frontier", "spearman_rank_correlation", "tune",
+]

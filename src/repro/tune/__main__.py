@@ -1,0 +1,8 @@
+"""``python -m repro.tune`` — same surface as ``python -m repro tune``."""
+
+import sys
+
+from repro.tune.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Command-line surface of the design-space autotuner.
+
+Usage::
+
+    python -m repro tune fir merge --preset tiny --budget 24
+    python -m repro tune fir --budget 40 --jobs 4 --out frontier.json
+    python -m repro tune fir --budget 24 --area-mm2 80 --energy-mj 5
+    python -m repro tune fir --budget 24 --axis cores=2,4 --axis l2_kb=512
+    python -m repro tune fir --budget 24 --serve /tmp/repro.sock
+    python -m repro tune space
+
+``tune`` searches the machine design space for the perf/energy Pareto
+frontier of the given workload set.  Every probe flows through the
+content-addressed result store (same resolution rules as ``repro
+grid``: ``--store PATH``, else ``$REPRO_STORE``, else ``.repro-cache``),
+so a killed search resumes where it stopped and re-running a finished
+search launches zero new simulations.  ``--serve ADDR`` routes probes
+through a running ``python -m repro serve start`` server instead of a
+local pool.  ``tune space`` prints the axes and their candidate values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.grid.cli import resolve_store
+from repro.tune.search import ServeExecutor, TuneError, tune
+from repro.tune.space import DesignSpace
+
+
+def parse_axes(entries: list[str]) -> dict[str, tuple]:
+    """``NAME=V1,V2,...`` option strings -> DesignSpace values dict."""
+    values: dict[str, tuple] = {}
+    for entry in entries:
+        name, sep, text = entry.partition("=")
+        if not sep or not text:
+            raise SystemExit(f"--axis wants NAME=V1,V2,..., got {entry!r}")
+        parts = [p.strip() for p in text.split(",") if p.strip()]
+        if name == "model":
+            values[name] = tuple(parts)
+        else:
+            try:
+                values[name] = tuple(int(p) for p in parts)
+            except ValueError:
+                raise SystemExit(
+                    f"axis {name!r} wants integer values, got {text!r}")
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro tune",
+        description="search the machine design space for the "
+                    "perf/energy Pareto frontier")
+    sub = parser.add_subparsers(dest="command")
+
+    search = sub.add_parser(
+        "search", help="run the search (the default subcommand)")
+    search.add_argument("workloads", nargs="+",
+                        help="workload names to tune for")
+    search.add_argument("--preset", default="tiny",
+                        choices=["default", "small", "tiny"])
+    search.add_argument("--budget", type=int, default=32, metavar="N",
+                        help="max unique probes, point x workload "
+                             "(default: 32)")
+    search.add_argument("--wall-seconds", type=float, metavar="S",
+                        help="stop refining after S seconds of wall "
+                             "clock (host-dependent; see docs/TUNE.md)")
+    search.add_argument("--seed", type=int, default=0,
+                        help="exploration seed (default: 0)")
+    search.add_argument("--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 1) // 2),
+                        help="local worker processes")
+    search.add_argument("--store", metavar="PATH",
+                        help="result store directory (default: "
+                             "$REPRO_STORE or .repro-cache)")
+    search.add_argument("--no-store", action="store_true",
+                        help="do not persist results (disables resume)")
+    search.add_argument("--serve", metavar="ADDR",
+                        help="route probes through a repro.serve server "
+                             "(unix socket path or host:port)")
+    search.add_argument("--area-mm2", type=float, metavar="MM2",
+                        help="total silicon area cap")
+    search.add_argument("--energy-mj", type=float, metavar="MJ",
+                        help="total energy cap over the workload set")
+    search.add_argument("--axis", action="append", default=[],
+                        metavar="NAME=V1,V2",
+                        help="override one axis's candidate values "
+                             "(repeatable)")
+    search.add_argument("--out", metavar="PATH",
+                        help="write the frontier artifact as JSON")
+    search.add_argument("--no-scatter", action="store_true",
+                        help="omit the ASCII scatter plot")
+
+    sub.add_parser("space", help="print the search axes and values")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # "search" is the default subcommand: `repro tune fir --budget 8`
+    # and `repro tune search fir --budget 8` are the same invocation.
+    if argv and argv[0] not in ("space", "search", "-h", "--help"):
+        argv.insert(0, "search")
+    args = build_parser().parse_args(argv)
+
+    if args.command == "space":
+        print(DesignSpace().describe())
+        return 0
+    if args.command is None:
+        build_parser().print_help()
+        return 2
+
+    try:
+        space = DesignSpace(parse_axes(args.axis))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    executor = None
+    if args.serve:
+        executor = ServeExecutor(args.serve)
+    store = resolve_store(args.store, args.no_store)
+
+    try:
+        result = tune(
+            args.workloads, space=space, budget=args.budget,
+            preset=args.preset, seed=args.seed, executor=executor,
+            jobs=args.jobs, store=store,
+            area_cap_mm2=args.area_mm2, energy_cap_mj=args.energy_mj,
+            wall_budget_s=args.wall_seconds,
+            log=lambda msg: print(f"tune: {msg}", flush=True))
+    except TuneError as exc:
+        raise SystemExit(f"tune: {exc}")
+    finally:
+        if executor is not None:
+            executor.close()
+
+    from repro.tune.report import render_report
+
+    print()
+    print(render_report(result, scatter=not args.no_scatter))
+    if args.out:
+        result.save(args.out)
+        print(f"\nwrote {args.out}")
+    return 0 if result.frontier else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

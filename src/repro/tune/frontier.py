@@ -1,0 +1,89 @@
+"""Candidates, measurements, and the perf/energy Pareto frontier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tune.space import DesignPoint
+
+
+@dataclass
+class Candidate:
+    """One design point with its prior estimate and (maybe) measurements.
+
+    ``measured_*`` aggregate over the workload set: execution times and
+    energies summed across every workload probed at this point (all
+    workloads weigh equally; a point is only comparable when every one
+    of its probes succeeded).  ``area_mm2`` comes from the analytical
+    area model and exists before any simulation does.
+    """
+
+    point: DesignPoint
+    prior_time_ms: float
+    prior_energy_mj: float
+    area_mm2: float
+    feasible: bool = True
+    infeasible_reason: str | None = None
+    stage: str = "screen"          # "calibrate" | "screen" | "refine"
+    measured_time_ms: float | None = None
+    measured_energy_mj: float | None = None
+    per_workload: dict[str, dict] = field(default_factory=dict)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def measured(self) -> bool:
+        """True when every workload probe of this point succeeded."""
+        return self.measured_time_ms is not None and not self.failures
+
+    def prior_ratio(self) -> float | None:
+        """prior/measured time ratio (the cross-validation column)."""
+        if not self.measured or not self.measured_time_ms:
+            return None
+        return self.prior_time_ms / self.measured_time_ms
+
+    def to_dict(self) -> dict:
+        """JSON-safe record for the frontier artifact."""
+        return {
+            "point": self.point.to_dict(),
+            "key": self.point.key(),
+            "stage": self.stage,
+            "prior_time_ms": self.prior_time_ms,
+            "prior_energy_mj": self.prior_energy_mj,
+            "area_mm2": self.area_mm2,
+            "feasible": self.feasible,
+            "infeasible_reason": self.infeasible_reason,
+            "measured_time_ms": self.measured_time_ms,
+            "measured_energy_mj": self.measured_energy_mj,
+            "prior_ratio": self.prior_ratio(),
+            "per_workload": self.per_workload,
+            "failures": self.failures,
+        }
+
+
+def pareto_frontier(candidates: list[Candidate]) -> list[Candidate]:
+    """The non-dominated measured candidates, sorted by time.
+
+    Minimizes ``(measured_time_ms, measured_energy_mj)``: a candidate
+    is dominated when another is no worse on both objectives and
+    strictly better on at least one.  Duplicate objective pairs keep
+    only the first in input order, so the frontier — like the search —
+    is deterministic.
+    """
+    measured = [c for c in candidates if c.measured]
+    measured.sort(key=lambda c: (c.measured_time_ms, c.measured_energy_mj,
+                                 c.point.key()))
+    frontier: list[Candidate] = []
+    best_energy = float("inf")
+    seen: set[tuple] = set()
+    for candidate in measured:
+        pair = (candidate.measured_time_ms, candidate.measured_energy_mj)
+        if pair in seen:
+            continue
+        if candidate.measured_energy_mj < best_energy:
+            frontier.append(candidate)
+            seen.add(pair)
+            best_energy = candidate.measured_energy_mj
+    return frontier
+
+
+__all__ = ["Candidate", "pareto_frontier"]

@@ -1,0 +1,245 @@
+"""Analytical performance/energy prior, adapted from Yavits et al.
+
+Yavits, Morad & Ginosar (*Cache Hierarchy Optimization*, PAPERS.md)
+solve cache sizing analytically by combining a power-law miss model
+with area/power/bandwidth resource constraints.  The tuner uses the
+same ingredients as a **prior**: a closed-form estimate of execution
+time and energy for every lattice point, calibrated against **one
+measured baseline run per workload and model**, used to (a) rank
+candidates so simulation budget goes to promising machines first,
+(b) prune candidates that cannot meet an area/energy cap, and (c)
+publish a prior-vs-measured cross-validation table so the prior's
+quality is a reported number, not an assumption.
+
+The model, per workload (all counts from the calibration run):
+
+* **miss rates** follow the square-root capacity power law
+  ``m(C) = m_base * (C_base / C)^0.5`` with a weak associativity term
+  ``(A_base / A)^0.2``, clamped to [0, 1] — the classic √2 rule Yavits
+  et al. build on;
+* **compute time** is the baseline useful time, work-conserved across
+  cores (``* cores_base / cores``); **sync time** scales with
+  ``log2(cores) + 1`` (barrier trees);
+* **memory time** is a roofline: the larger of a latency term
+  (misses × their L2/DRAM service times, divided across cores, shrunk
+  by prefetch depth ``1 / (1 + depth/4)``) and a bandwidth term
+  (estimated off-chip bytes over ``channels`` × per-channel rate);
+* **energy** charges the CACTI-flavoured per-access energies of the
+  *candidate's* arrays (:func:`repro.energy.cacti.sram_energy`), DRAM
+  per-byte/per-access energy, and leakage × predicted time.
+
+Both predictions are calibrated multiplicatively so the prior is exact
+at the baseline point; everything else is an extrapolation whose error
+the cross-validation table reports.  The prior never replaces
+simulation — it only orders and prunes candidates; every frontier
+point is a measured run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import MachineConfig, MemoryModel
+from repro.energy.cacti import sram_energy
+from repro.energy.model import EnergyParams
+from repro.results import RunResult
+from repro.tune.space import DesignPoint
+
+#: Power-law exponents of the miss model.
+_CAPACITY_EXP = 0.5
+_ASSOC_EXP = 0.2
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Baseline measurements of one workload under one memory model."""
+
+    workload: str
+    model: str
+    point: DesignPoint
+    instructions: int
+    word_accesses: int
+    l1_miss_rate: float
+    l2_miss_rate: float
+    useful_fs: float
+    sync_fs: float
+    exec_time_ms: float
+    energy_mj: float
+    offchip_bytes: float
+
+    @classmethod
+    def from_result(cls, point: DesignPoint,
+                    result: RunResult) -> "Calibration":
+        """Extract the calibration numbers from a finished baseline run."""
+        return cls(
+            workload=result.workload, model=result.model, point=point,
+            instructions=result.instructions,
+            word_accesses=max(1, result.word_accesses),
+            l1_miss_rate=result.l1_miss_rate,
+            l2_miss_rate=result.l2_miss_rate,
+            useful_fs=result.breakdown.useful_fs,
+            sync_fs=result.breakdown.sync_fs,
+            exec_time_ms=result.exec_time_ms,
+            energy_mj=result.energy.total * 1e3,
+            offchip_bytes=float(result.traffic.total_bytes),
+        )
+
+
+def _first_level(point: DesignPoint) -> tuple[int, int]:
+    """(capacity_kb, associativity) of the point's L1 data storage."""
+    return point.l1_kb, point.l1_assoc
+
+
+def _miss_scale(base_kb: int, base_assoc: int, kb: int, assoc: int) -> float:
+    """Power-law miss-rate multiplier of a geometry change."""
+    return ((base_kb / kb) ** _CAPACITY_EXP
+            * (base_assoc / assoc) ** _ASSOC_EXP)
+
+
+class Prior:
+    """Closed-form time/energy estimates for one calibrated workload."""
+
+    def __init__(self, calibration: Calibration,
+                 config: MachineConfig | None = None,
+                 params: EnergyParams | None = None) -> None:
+        self.calibration = calibration
+        #: Uncore timing/energy constants shared by every candidate.
+        self.config = config or MachineConfig()
+        self.params = params or EnergyParams()
+        base = calibration.point
+        # Calibrate multiplicatively: the raw formulas are first-order,
+        # so anchor them to the measured baseline instead of trusting
+        # their absolute scale.
+        self._time_scale = 1.0
+        raw = self._raw_time_ms(base)
+        self._time_scale = calibration.exec_time_ms / raw if raw > 0 else 1.0
+        self._energy_scale = 1.0
+        raw_e = self._raw_energy_mj(base)
+        self._energy_scale = calibration.energy_mj / raw_e if raw_e > 0 \
+            else 1.0
+
+    # -- miss model ------------------------------------------------------
+
+    def l1_miss_rate(self, point: DesignPoint) -> float:
+        """Predicted L1 miss rate at ``point`` (clamped to [0, 1])."""
+        base = self.calibration.point
+        base_kb, base_assoc = _first_level(base)
+        kb, assoc = _first_level(point)
+        return min(1.0, self.calibration.l1_miss_rate
+                   * _miss_scale(base_kb, base_assoc, kb, assoc))
+
+    def l2_miss_rate(self, point: DesignPoint) -> float:
+        """Predicted L2 miss rate at ``point`` (clamped to [0, 1])."""
+        base = self.calibration.point
+        return min(1.0, self.calibration.l2_miss_rate
+                   * _miss_scale(base.l2_kb, base.l2_assoc,
+                                 point.l2_kb, point.l2_assoc))
+
+    # -- time ------------------------------------------------------------
+
+    def _raw_time_ms(self, point: DesignPoint) -> float:
+        cal = self.calibration
+        base = cal.point
+        config = self.config
+        # Compute and sync: work-conserving core scaling, log-tree sync.
+        compute_ms = cal.useful_fs * 1e-12 * (base.cores / point.cores)
+        sync_base = math.log2(base.cores) + 1.0
+        sync_ms = cal.sync_fs * 1e-12 \
+            * ((math.log2(point.cores) + 1.0) / sync_base)
+        # Latency roofline leg: every L1 miss pays L2, L2 misses pay
+        # DRAM; misses spread across cores; prefetch hides a depth-
+        # dependent fraction of the service time.
+        m1 = self.l1_miss_rate(point)
+        m2 = self.l2_miss_rate(point)
+        misses1 = cal.word_accesses * m1
+        t_l2_ms = config.l2_latency_ns * 1e-6
+        t_dram_ms = config.dram.latency_ns * 1e-6
+        hide = 1.0 / (1.0 + point.pf_depth / 4.0)
+        lat_ms = misses1 * (t_l2_ms + m2 * t_dram_ms) * hide / point.cores
+        # Bandwidth roofline leg: off-chip bytes scale with the L1 miss
+        # rate (more misses, more fills + write-backs); every channel
+        # has the full per-channel rate.
+        bytes_est = cal.offchip_bytes * (m1 / max(cal.l1_miss_rate, 1e-12))
+        rate_bytes_per_ms = config.dram.bandwidth_gbps * 1e6
+        bw_ms = bytes_est / (rate_bytes_per_ms * point.channels)
+        return compute_ms + sync_ms + max(lat_ms, bw_ms)
+
+    def time_ms(self, point: DesignPoint) -> float:
+        """Predicted execution time at ``point``, in milliseconds."""
+        return self._raw_time_ms(point) * self._time_scale
+
+    # -- energy ----------------------------------------------------------
+
+    def _raw_energy_mj(self, point: DesignPoint) -> float:
+        cal = self.calibration
+        params = self.params
+        kb, assoc = _first_level(point)
+        l1_sram = sram_energy(kb * 1024, assoc)
+        l2_sram = sram_energy(point.l2_kb * 1024, point.l2_assoc)
+        m1 = self.l1_miss_rate(point)
+        m2 = self.l2_miss_rate(point)
+        misses1 = cal.word_accesses * m1
+        bytes_est = cal.offchip_bytes * (m1 / max(cal.l1_miss_rate, 1e-12))
+        seconds = self._raw_time_ms(point) * self._time_scale * 1e-3
+        dynamic_j = (
+            cal.instructions * params.core_instruction_pj * 1e-12
+            + cal.word_accesses * l1_sram.read_j
+            + misses1 * l2_sram.read_j
+            + bytes_est * params.dram_pj_per_byte * 1e-12
+            + misses1 * m2 * params.dram_access_pj * 1e-12
+        )
+        static_j = (
+            point.cores * (params.core_leakage_mw * 1e-3
+                           + l1_sram.leakage_w)
+            + l2_sram.leakage_w
+            + params.dram_background_mw * 1e-3 * point.channels
+        ) * seconds
+        return (dynamic_j + static_j) * 1e3
+
+    def energy_mj(self, point: DesignPoint) -> float:
+        """Predicted total energy at ``point``, in millijoules."""
+        return self._raw_energy_mj(point) * self._energy_scale
+
+    def score(self, point: DesignPoint) -> float:
+        """Ranking score (lower is better): energy-delay product."""
+        return self.time_ms(point) * self.energy_mj(point)
+
+
+def spearman_rank_correlation(xs: list[float], ys: list[float]) -> float:
+    """Spearman's rho between two equal-length samples (no SciPy).
+
+    Ties get their average rank.  Returns 0.0 for degenerate inputs
+    (fewer than two points, or a constant sample).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("samples must have equal length")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+
+    def ranks(values: list[float]) -> list[float]:
+        order = sorted(range(n), key=lambda i: values[i])
+        out = [0.0] * n
+        i = 0
+        while i < n:
+            j = i
+            while j + 1 < n and values[order[j + 1]] == values[order[i]]:
+                j += 1
+            avg = (i + j) / 2.0 + 1.0
+            for k in range(i, j + 1):
+                out[order[k]] = avg
+            i = j + 1
+        return out
+
+    rx, ry = ranks(list(xs)), ranks(list(ys))
+    mean = (n + 1) / 2.0
+    cov = sum((a - mean) * (b - mean) for a, b in zip(rx, ry))
+    var_x = sum((a - mean) ** 2 for a in rx)
+    var_y = sum((b - mean) ** 2 for b in ry)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+__all__ = ["Calibration", "Prior", "spearman_rank_correlation"]

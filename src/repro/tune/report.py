@@ -1,0 +1,70 @@
+"""Text rendering of a finished tuner search."""
+
+from __future__ import annotations
+
+from repro.harness.reports import format_table, render_scatter
+from repro.tune.search import TuneResult
+
+
+def _ratio(value: float | None) -> str:
+    return "-" if value is None else f"{value:.3f}"
+
+
+def render_frontier(result: TuneResult) -> str:
+    """The frontier table, prior-vs-measured column included."""
+    headers = ["design point", "stage", "time ms", "energy mJ",
+               "area mm2", "prior/meas"]
+    rows = [[c.point.key(), c.stage, c.measured_time_ms,
+             c.measured_energy_mj, c.area_mm2, _ratio(c.prior_ratio())]
+            for c in result.frontier]
+    if not rows:
+        return ("(empty frontier — every probed candidate failed "
+                "or was infeasible)")
+    return format_table(headers, rows)
+
+
+def render_validation(result: TuneResult) -> str:
+    """Prior-vs-measured cross-validation summary block."""
+    v = result.validation
+    if not v or not v.get("points"):
+        return "prior validation: no measured points"
+    return (
+        f"prior validation over {v['points']} measured point(s):\n"
+        f"  time   rank correlation (Spearman)  "
+        f"{v['time_rank_correlation']:+.3f}\n"
+        f"  energy rank correlation (Spearman)  "
+        f"{v['energy_rank_correlation']:+.3f}\n"
+        f"  time   median abs relative error    "
+        f"{v['time_median_abs_rel_error'] * 100:.1f}%")
+
+
+def render_report(result: TuneResult, scatter: bool = True) -> str:
+    """The full ``repro tune`` report, ready to print."""
+    lines = [
+        f"tuned {', '.join(result.workloads)} (preset {result.preset}) — "
+        f"space {result.space_size}, budget {result.budget}, "
+        f"seed {result.seed}",
+        f"probes {result.probes}  launched {result.runs_launched}  "
+        f"store hits {result.store_hits}  pruned {result.pruned}"
+        + ("  [wall budget hit]" if result.truncated else ""),
+        "",
+        f"Pareto frontier ({len(result.frontier)} point(s), "
+        f"minimizing time and energy):",
+        render_frontier(result),
+    ]
+    if scatter and any(c.measured for c in result.candidates):
+        frontier_keys = {c.point.key() for c in result.frontier}
+        # Frontier points drawn last so their '*' wins shared cells.
+        cloud = sorted((c for c in result.candidates if c.measured),
+                       key=lambda c: c.point.key() in frontier_keys)
+        points = [{"time_ms": c.measured_time_ms,
+                   "energy_mj": c.measured_energy_mj,
+                   "marker": "*" if c.point.key() in frontier_keys
+                   else "."} for c in cloud]
+        lines += ["", "measured candidates (* = frontier):",
+                  render_scatter(points, "time_ms", "energy_mj")]
+    lines += ["", render_validation(result)]
+    return "\n".join(lines)
+
+
+__all__ = ["render_frontier", "render_report", "render_validation"]

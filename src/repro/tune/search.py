@@ -1,0 +1,425 @@
+"""The design-space search loop: calibrate, screen, refine, report.
+
+Strategy (see ``docs/TUNE.md`` for the full contract):
+
+1. **Calibrate** — one baseline probe per workload and memory model (the
+   lattice point nearest Table 2).  These runs seed the analytical
+   prior (:class:`repro.tune.prior.Prior`).
+2. **Screen** — every lattice point is priced by the area model and the
+   prior; infeasible points (area/energy caps) are pruned without
+   simulation; the rest are ranked by prior energy-delay product and
+   the best are probed, with a seeded exploration slice (one quarter of
+   the screen budget) drawn from the rest of the feasible space so a
+   miscalibrated prior cannot hide a whole region.
+3. **Refine** — while budget remains, the measured Pareto frontier's
+   one-axis lattice neighbours are probed, best-prior-first.
+
+**Budget** counts *unique probes* — distinct (design point, workload)
+simulation requests — not launched processes.  Every probe flows
+through the content-addressed store, so a warm re-run of the same
+search makes the same requests, hits the store every time, and launches
+zero new simulations; a killed search re-launches only the probes that
+had not settled.  The search itself is deterministic for a fixed
+(workloads, space, seed, budget): candidate ranking depends only on the
+prior and on measured results, both of which are reproducible, and
+outcomes are re-ordered from completion order back into request order
+before any decision reads them.  (`--wall-seconds` is the exception: a
+wall-clock stop is inherently host-dependent, so only the run-count
+budget gives bit-identical frontiers.)
+
+Wall-clock reads below time the *orchestration* layer only, hence the
+REPRO001 exemptions, as everywhere outside the simulator core.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.energy.area import machine_area_mm2
+from repro.grid.scheduler import GridScheduler, RunOutcome
+from repro.grid.store import ResultStore
+from repro.tune.frontier import Candidate, pareto_frontier
+from repro.tune.prior import Calibration, Prior, spearman_rank_correlation
+from repro.tune.space import DesignPoint, DesignSpace
+
+#: Fraction of the post-calibration budget reserved for refinement.
+REFINE_FRACTION = 0.35
+#: Fraction of the screening slice spent on seeded exploration.
+EXPLORE_FRACTION = 0.25
+
+
+class TuneError(RuntimeError):
+    """The search cannot proceed (bad budget, failed calibration, ...)."""
+
+
+class GridExecutor:
+    """Probe executor over the local process pool + result store."""
+
+    def __init__(self, jobs: int = 1, store: ResultStore | None = None,
+                 timeout_s: float | None = None) -> None:
+        self.scheduler = GridScheduler(jobs=jobs, store=store,
+                                       timeout_s=timeout_s)
+
+    def run_batch(self, specs) -> dict[str, RunOutcome]:
+        """Settle one batch; returns ``{content_key: outcome}``."""
+        return self.scheduler.run_batch(specs)
+
+    def describe(self) -> str:
+        store = self.scheduler.store
+        where = store.root if store is not None else "no store"
+        return f"local pool ({self.scheduler.jobs} jobs, {where})"
+
+    def close(self) -> None:
+        """Nothing persistent to release."""
+
+
+class ServeExecutor:
+    """Probe executor over a running ``repro serve`` server.
+
+    ``address`` is a unix-socket path, or ``host:port`` / ``:port`` for
+    TCP.  Reuses the one blocking :class:`~repro.serve.client.ServeClient`
+    for every batch, so a long search holds a single connection and
+    benefits from the server's cross-client in-flight deduplication.
+    """
+
+    def __init__(self, address: str, timeout_s: float | None = None) -> None:
+        from repro.serve.client import ServeClient
+
+        host, port = _parse_address(address)
+        if port is None:
+            self.client = ServeClient.connect(socket_path=address,
+                                              timeout_s=timeout_s)
+        else:
+            self.client = ServeClient.connect(host=host, port=port,
+                                              timeout_s=timeout_s)
+        self._address = address
+
+    def run_batch(self, specs) -> dict[str, RunOutcome]:
+        """Submit one batch to the server; returns ``{key: outcome}``."""
+        report = self.client.submit(specs)
+        return {outcome.key: outcome for outcome in report.outcomes}
+
+    def describe(self) -> str:
+        return f"serve at {self._address}"
+
+    def close(self) -> None:
+        self.client.close()
+
+
+def _parse_address(address: str) -> tuple[str | None, int | None]:
+    """``host:port``/``:port`` -> (host, port); anything else is a path."""
+    if ":" in address:
+        host, _, port_text = address.rpartition(":")
+        if port_text.isdigit():
+            return host or "127.0.0.1", int(port_text)
+    return None, None
+
+
+@dataclass
+class TuneResult:
+    """Everything one search produced, JSON-ready."""
+
+    workloads: list[str]
+    preset: str
+    seed: int
+    budget: int
+    space_size: int
+    candidates: list[Candidate] = field(default_factory=list)
+    frontier: list[Candidate] = field(default_factory=list)
+    probes: int = 0
+    runs_launched: int = 0
+    store_hits: int = 0
+    pruned: int = 0
+    truncated: bool = False
+    wall_s: float = 0.0
+    validation: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """The frontier artifact (stable key order via save_json)."""
+        return {
+            "schema": 1,
+            "workloads": self.workloads,
+            "preset": self.preset,
+            "seed": self.seed,
+            "budget": self.budget,
+            "space_size": self.space_size,
+            "probes": self.probes,
+            "runs_launched": self.runs_launched,
+            "store_hits": self.store_hits,
+            "pruned": self.pruned,
+            "truncated": self.truncated,
+            "wall_s": self.wall_s,
+            "validation": self.validation,
+            "frontier": [c.to_dict() for c in self.frontier],
+            "candidates": [c.to_dict() for c in self.candidates],
+        }
+
+    def save(self, path) -> None:
+        """Write the artifact as stable, diff-friendly JSON."""
+        import json
+
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def tune(workloads, space: DesignSpace | None = None, budget: int = 32,
+         preset: str = "tiny", seed: int = 0,
+         executor=None, jobs: int = 1, store: ResultStore | None = None,
+         area_cap_mm2: float | None = None,
+         energy_cap_mj: float | None = None,
+         wall_budget_s: float | None = None,
+         log=None) -> TuneResult:
+    """Search the design space; returns the settled :class:`TuneResult`.
+
+    ``budget`` caps the number of unique probes (point × workload
+    simulation requests), calibration included.  ``executor`` defaults
+    to a :class:`GridExecutor` over ``jobs``/``store``; pass a
+    :class:`ServeExecutor` to route probes through a server instead.
+    """
+    workloads = list(dict.fromkeys(workloads))
+    if not workloads:
+        raise TuneError("need at least one workload")
+    space = space or DesignSpace()
+    say = log if log is not None else (lambda _msg: None)
+    started = time.perf_counter()  # repro-lint: disable=REPRO001
+    owns_executor = executor is None
+    if executor is None:
+        executor = GridExecutor(jobs=jobs, store=store)
+
+    models = list(space.values["model"])
+    calibration_probes = len(models) * len(workloads)
+    if budget < calibration_probes:
+        raise TuneError(
+            f"budget {budget} is below the {calibration_probes} "
+            f"calibration probe(s) ({len(models)} model(s) x "
+            f"{len(workloads)} workload(s))")
+
+    result = TuneResult(workloads=workloads, preset=preset, seed=seed,
+                        budget=budget, space_size=space.size)
+    #: Global probe ledger: spec content key -> settled outcome.  Budget
+    #: is its size; re-requesting a settled key is free.
+    ledger: dict[str, RunOutcome] = {}
+
+    def execute(points: list[DesignPoint]) -> None:
+        """Probe every workload at every point, filling the ledger."""
+        specs = []
+        for point in points:
+            for workload in workloads:
+                spec = point.to_spec(workload, preset)
+                if spec.content_key() not in ledger:
+                    specs.append(spec)
+        if not specs:
+            return
+        settled = executor.run_batch(specs)
+        for spec in specs:
+            key = spec.content_key()
+            outcome = settled.get(key)
+            if outcome is None:      # skipped by a dying executor
+                continue
+            ledger[key] = outcome
+            if outcome.source == "run":
+                result.runs_launched += 1
+            else:
+                result.store_hits += 1
+
+    def out_of_time() -> bool:
+        if wall_budget_s is None:
+            return False
+        return (time.perf_counter() - started) >= wall_budget_s  # repro-lint: disable=REPRO001
+
+    def remaining() -> int:
+        return budget - len(ledger)
+
+    def affordable(points: list[DesignPoint], cap: int) -> list[DesignPoint]:
+        """Longest prefix of ``points`` whose new probes fit ``cap``."""
+        chosen: list[DesignPoint] = []
+        cost = 0
+        seen_keys = set(ledger)
+        for point in points:
+            new = [point.to_spec(w, preset).content_key()
+                   for w in workloads]
+            fresh = [k for k in new if k not in seen_keys]
+            if cost + len(fresh) > cap:
+                break
+            seen_keys.update(fresh)
+            cost += len(fresh)
+            chosen.append(point)
+        return chosen
+
+    # -- 1. calibrate ----------------------------------------------------
+    baselines = {model: space.baseline(model) for model in models}
+    say(f"calibrating {len(models)} model(s) x {len(workloads)} "
+        f"workload(s) at the Table 2 baseline points")
+    execute(list(baselines.values()))
+    priors: dict[tuple[str, str], Prior] = {}
+    for model, point in baselines.items():
+        for workload in workloads:
+            key = point.to_spec(workload, preset).content_key()
+            outcome = ledger.get(key)
+            if outcome is None or outcome.status != "ok":
+                detail = outcome.failure.message if outcome is not None \
+                    and outcome.failure is not None else "no outcome"
+                raise TuneError(
+                    f"calibration run {workload}/{model} failed: {detail}")
+            priors[(workload, model)] = Prior(
+                Calibration.from_result(point, outcome.result))
+
+    # -- 2. price and prune the lattice ----------------------------------
+    candidates: dict[str, Candidate] = {}
+    for point in space.points():
+        prior_time = sum(priors[(w, point.model)].time_ms(point)
+                         for w in workloads)
+        prior_energy = sum(priors[(w, point.model)].energy_mj(point)
+                           for w in workloads)
+        area = machine_area_mm2(point.to_config())["total"]
+        candidate = Candidate(point=point, prior_time_ms=prior_time,
+                              prior_energy_mj=prior_energy, area_mm2=area)
+        if area_cap_mm2 is not None and area > area_cap_mm2:
+            candidate.feasible = False
+            candidate.infeasible_reason = (
+                f"area {area:.1f} mm2 > cap {area_cap_mm2:.1f} mm2")
+        elif energy_cap_mj is not None and prior_energy > energy_cap_mj:
+            candidate.feasible = False
+            candidate.infeasible_reason = (
+                f"prior energy {prior_energy:.2f} mJ > cap "
+                f"{energy_cap_mj:.2f} mJ")
+        candidates[point.key()] = candidate
+    for model, point in baselines.items():
+        if point.key() in candidates:
+            candidates[point.key()].stage = "calibrate"
+    result.pruned = sum(1 for c in candidates.values() if not c.feasible)
+    feasible = [c for c in candidates.values() if c.feasible]
+    feasible.sort(key=lambda c: (c.prior_time_ms * c.prior_energy_mj,
+                                 c.point.key()))
+    say(f"space: {len(candidates)} valid point(s), {result.pruned} pruned "
+        f"by constraints, {len(feasible)} feasible")
+
+    # -- 3. screen -------------------------------------------------------
+    rng = random.Random(seed)
+    probed: set[str] = {p.key() for p in baselines.values()}
+    screen_cap = max(0, round(remaining() * (1.0 - REFINE_FRACTION)))
+    ranked = [c for c in feasible if c.point.key() not in probed]
+    exploit_n = len(affordable([c.point for c in ranked], screen_cap))
+    explore_n = max(0, round(exploit_n * EXPLORE_FRACTION))
+    exploit = [c.point for c in ranked[:exploit_n - explore_n]]
+    rest = [c.point for c in ranked[exploit_n - explore_n:]]
+    explore = [rest[i] for i in sorted(rng.sample(
+        range(len(rest)), min(explore_n, len(rest))))] if rest else []
+    screen_points = affordable(exploit + explore, screen_cap)
+    if screen_points and not out_of_time():
+        say(f"screening {len(screen_points)} candidate(s) "
+            f"({len(explore)} seeded-exploration)")
+        execute(screen_points)
+        for point in screen_points:
+            candidates[point.key()].stage = "screen"
+            probed.add(point.key())
+
+    # -- aggregate measurements ------------------------------------------
+    def settle(candidate: Candidate) -> None:
+        total_time = total_energy = 0.0
+        per_workload: dict[str, dict] = {}
+        failures: list[str] = []
+        for workload in workloads:
+            key = candidate.point.to_spec(workload, preset).content_key()
+            outcome = ledger.get(key)
+            if outcome is None:
+                return               # never probed: leave unmeasured
+            if outcome.status != "ok":
+                failures.append(
+                    f"{workload}: {outcome.failure.kind}: "
+                    f"{outcome.failure.message}")
+                continue
+            run = outcome.result
+            time_ms = run.exec_time_ms
+            energy_mj = run.energy.total * 1e3
+            per_workload[workload] = {"time_ms": time_ms,
+                                      "energy_mj": energy_mj}
+            total_time += time_ms
+            total_energy += energy_mj
+        candidate.failures = failures
+        candidate.per_workload = per_workload
+        if not failures:
+            candidate.measured_time_ms = total_time
+            candidate.measured_energy_mj = total_energy
+            if energy_cap_mj is not None and total_energy > energy_cap_mj:
+                candidate.feasible = False
+                candidate.infeasible_reason = (
+                    f"measured energy {total_energy:.2f} mJ > cap "
+                    f"{energy_cap_mj:.2f} mJ")
+
+    for key in sorted(probed):
+        if key in candidates:
+            settle(candidates[key])
+
+    # -- 4. refine around the frontier -----------------------------------
+    while remaining() > 0 and not out_of_time():
+        frontier_now = pareto_frontier(
+            [c for c in candidates.values() if c.feasible])
+        fresh: list[DesignPoint] = []
+        fresh_keys: set[str] = set()
+        for candidate in frontier_now:
+            for neighbour in space.neighbors(candidate.point):
+                n_key = neighbour.key()
+                if n_key in probed or n_key in fresh_keys:
+                    continue
+                neighbour_candidate = candidates.get(n_key)
+                if neighbour_candidate is None \
+                        or not neighbour_candidate.feasible:
+                    continue
+                fresh.append(neighbour)
+                fresh_keys.add(n_key)
+        if not fresh:
+            break
+        fresh.sort(key=lambda p: (
+            candidates[p.key()].prior_time_ms
+            * candidates[p.key()].prior_energy_mj, p.key()))
+        batch = affordable(fresh, remaining())
+        if not batch:
+            break
+        say(f"refining {len(batch)} frontier neighbour(s), "
+            f"{remaining()} probe(s) of budget left")
+        execute(batch)
+        for point in batch:
+            candidates[point.key()].stage = "refine"
+            probed.add(point.key())
+            settle(candidates[point.key()])
+    result.truncated = out_of_time()
+
+    # -- 5. assemble ------------------------------------------------------
+    ordered = sorted((candidates[k] for k in probed if k in candidates),
+                     key=lambda c: c.point.key())
+    result.candidates = ordered
+    result.frontier = pareto_frontier([c for c in ordered if c.feasible])
+    result.probes = len(ledger)
+    result.validation = _validation([c for c in ordered if c.measured])
+    result.wall_s = time.perf_counter() - started  # repro-lint: disable=REPRO001
+    if owns_executor:
+        executor.close()
+    return result
+
+
+def _validation(measured: list[Candidate]) -> dict:
+    """Prior-vs-measured cross-validation summary over measured points."""
+    if not measured:
+        return {"points": 0}
+    prior_t = [c.prior_time_ms for c in measured]
+    meas_t = [c.measured_time_ms for c in measured]
+    prior_e = [c.prior_energy_mj for c in measured]
+    meas_e = [c.measured_energy_mj for c in measured]
+    abs_err = sorted(abs(p / m - 1.0) for p, m in zip(prior_t, meas_t)
+                     if m)
+    median_err = abs_err[len(abs_err) // 2] if abs_err else 0.0
+    return {
+        "points": len(measured),
+        "time_rank_correlation": spearman_rank_correlation(prior_t, meas_t),
+        "energy_rank_correlation": spearman_rank_correlation(prior_e,
+                                                             meas_e),
+        "time_median_abs_rel_error": median_err,
+    }
+
+
+__all__ = ["GridExecutor", "ServeExecutor", "TuneError", "TuneResult",
+           "tune", "REFINE_FRACTION", "EXPLORE_FRACTION"]

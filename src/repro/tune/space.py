@@ -1,0 +1,220 @@
+"""The machine design space the autotuner searches.
+
+A :class:`DesignSpace` is a small lattice: one tuple of candidate
+values per axis, crossed into :class:`DesignPoint` lattice points.  The
+axes cover the machine parameters the paper holds fixed at Table 2's
+bolded values — exactly the parameters the CC-vs-STR conclusions are
+conditioned on:
+
+========  =====================================================
+axis      meaning
+========  =====================================================
+model     memory model (``cc`` / ``str``)
+cores     processor count
+l1_kb     first-level data storage capacity (KB) — the D-cache
+          under CC, the stream cache under STR
+l1_assoc  its associativity
+l2_kb     shared L2 capacity (KB)
+l2_assoc  L2 associativity
+pf_depth  stream-prefetcher depth, 0 = prefetcher off
+channels  independent DRAM channels
+========  =====================================================
+
+Every point expands to a :class:`~repro.grid.spec.RunSpec` via
+``config_overrides`` (dotted :class:`~repro.config.MachineConfig`
+paths), so probes flow through the ordinary grid store/scheduler fabric
+and are content-addressed like any other run.  Enumeration order is the
+deterministic lexicographic product of the axis tuples — the search is
+reproducible because the space is.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields
+
+from repro.grid.spec import RunSpec
+
+#: Axis names, in enumeration order (= DesignPoint field order).
+AXES = ("model", "cores", "l1_kb", "l1_assoc", "l2_kb", "l2_assoc",
+        "pf_depth", "channels")
+
+#: Default per-axis candidate values.  The Table 2 baseline is a lattice
+#: point of every axis (32 KB appears for CC's D-cache; 8 KB is STR's
+#: stream cache), so the paper's design point is always reachable.
+DEFAULT_VALUES: dict[str, tuple] = {
+    "model": ("cc", "str"),
+    "cores": (1, 2, 4, 8),
+    "l1_kb": (8, 16, 32, 64),
+    "l1_assoc": (2, 4),
+    "l2_kb": (256, 512, 1024),
+    "l2_assoc": (8, 16),
+    "pf_depth": (0, 4, 8),
+    "channels": (1, 2, 4),
+}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One fully-specified machine candidate (a lattice point)."""
+
+    model: str
+    cores: int
+    l1_kb: int
+    l1_assoc: int
+    l2_kb: int
+    l2_assoc: int
+    pf_depth: int
+    channels: int
+
+    def key(self) -> str:
+        """Short stable identity for tables, JSON, and dedup sets."""
+        return (f"{self.model}-c{self.cores}"
+                f"-l1:{self.l1_kb}x{self.l1_assoc}"
+                f"-l2:{self.l2_kb}x{self.l2_assoc}"
+                f"-pf{self.pf_depth}-ch{self.channels}")
+
+    def config_overrides(self) -> dict:
+        """The dotted MachineConfig overrides this point expands to.
+
+        The ``l1_*`` axes configure the first-level storage of the
+        *active* model: ``config.l1`` under CC/ICC, ``config.stream_l1``
+        under STR (the local store stays at Table 2's 24 KB).  That
+        keeps the axis meaningful in both mappings without minting
+        aliased candidates that only differ in a dormant cache block.
+        """
+        l1_block = "stream_l1" if self.model == "str" else "l1"
+        return {
+            f"{l1_block}.capacity_bytes": self.l1_kb * 1024,
+            f"{l1_block}.associativity": self.l1_assoc,
+            "l2.capacity_bytes": self.l2_kb * 1024,
+            "l2.associativity": self.l2_assoc,
+            "dram.channels": self.channels,
+        }
+
+    def to_spec(self, workload: str, preset: str = "default") -> RunSpec:
+        """The grid :class:`RunSpec` probing this point on ``workload``."""
+        return RunSpec(
+            workload, model=self.model, cores=self.cores,
+            prefetch=self.pf_depth > 0,
+            prefetch_depth=self.pf_depth if self.pf_depth > 0 else 4,
+            preset=preset, config_overrides=self.config_overrides())
+
+    def to_config(self):
+        """Expand to a validated :class:`MachineConfig` (may raise)."""
+        return self.to_spec("fir").to_config()
+
+    def is_valid(self) -> bool:
+        """True when the point expands to a constructible machine."""
+        try:
+            self.to_config()
+        except ValueError:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        """JSON-safe description, axis name -> value."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignPoint":
+        """Rebuild a point written by :meth:`to_dict`."""
+        return cls(**data)
+
+
+class DesignSpace:
+    """A validated lattice of :class:`DesignPoint` candidates."""
+
+    def __init__(self, values: dict[str, tuple] | None = None) -> None:
+        merged = dict(DEFAULT_VALUES)
+        for name, axis_values in (values or {}).items():
+            if name not in DEFAULT_VALUES:
+                raise ValueError(
+                    f"unknown design axis {name!r}; expected one of "
+                    f"{', '.join(AXES)}")
+            if not axis_values:
+                raise ValueError(f"axis {name!r} needs at least one value")
+            merged[name] = tuple(axis_values)
+        self.values = merged
+
+    @property
+    def size(self) -> int:
+        """Number of lattice points (before validity filtering)."""
+        out = 1
+        for name in AXES:
+            out *= len(self.values[name])
+        return out
+
+    def points(self):
+        """Yield every *valid* point in deterministic product order.
+
+        Lattice points whose geometry violates a config invariant (e.g.
+        a set count that is not a power of two) are silently skipped —
+        the lattice is a candidate generator, not a promise.
+        """
+        for combo in itertools.product(*(self.values[a] for a in AXES)):
+            point = DesignPoint(*combo)
+            if point.is_valid():
+                yield point
+
+    def baseline(self, model: str) -> DesignPoint:
+        """The lattice point closest to the Table 2 machine for ``model``.
+
+        Used to calibrate the analytical prior: for each axis, pick the
+        candidate value nearest the paper's default (32 KB 2-way
+        D-cache / 8 KB 2-way stream cache, 512 KB 16-way L2, prefetcher
+        off, one channel, 8 cores).
+        """
+        targets = {
+            "cores": 8,
+            "l1_kb": 8 if model == "str" else 32,
+            "l1_assoc": 2,
+            "l2_kb": 512,
+            "l2_assoc": 16,
+            "pf_depth": 0,
+            "channels": 1,
+        }
+        chosen: dict[str, object] = {"model": model}
+        if model not in self.values["model"]:
+            raise ValueError(f"model {model!r} is not in this space")
+        for axis, target in targets.items():
+            chosen[axis] = min(self.values[axis],
+                               key=lambda v: (abs(v - target), v))
+        point = DesignPoint(**chosen)  # type: ignore[arg-type]
+        if point.is_valid():
+            return point
+        # A customized space may make the nearest-to-default combo
+        # invalid; fall back to the first valid point of this model.
+        for candidate in self.points():
+            if candidate.model == model:
+                return candidate
+        raise ValueError(f"no valid {model!r} point in this space")
+
+    def neighbors(self, point: DesignPoint):
+        """Yield the valid one-axis-step lattice neighbours of ``point``.
+
+        The refinement moves of the search: for each axis, the adjacent
+        candidate values (one step down, one step up) with every other
+        axis held fixed.  Deterministic order: axes in :data:`AXES`
+        order, down before up.
+        """
+        for axis in AXES:
+            axis_values = self.values[axis]
+            index = axis_values.index(getattr(point, axis))
+            for step in (-1, 1):
+                other = index + step
+                if not 0 <= other < len(axis_values):
+                    continue
+                neighbour = DesignPoint(
+                    **{**point.to_dict(), axis: axis_values[other]})
+                if neighbour.is_valid():
+                    yield neighbour
+
+    def describe(self) -> str:
+        """One line per axis, for ``tune space`` and error messages."""
+        lines = [f"{name:9s} {', '.join(map(str, self.values[name]))}"
+                 for name in AXES]
+        return "\n".join(lines)
+
+
+__all__ = ["AXES", "DEFAULT_VALUES", "DesignPoint", "DesignSpace"]

@@ -182,6 +182,20 @@ class TestPlanning:
         assert len(keys) == len(set(keys))
         assert len(specs) == 3     # figure4 reuses figure3's exact runs
 
+    def test_planner_stats_uniform_for_subscript_and_get(self):
+        # dict.get never consults __missing__, so without the explicit
+        # override an experiment written as ``stats.get(key, 0)`` saw 0
+        # during planning while ``stats[key]`` answered 1.0 — the same
+        # key, two different placeholder values.
+        cache = PlanCache()
+        runner = Runner(preset="tiny", cache=cache)
+        result = runner.run("fir", cores=2)
+        stats = result.stats
+        assert stats["anything.at.all"] == 1.0
+        assert stats.get("anything.at.all") == 1.0
+        assert stats.get("anything.at.all", 0) == 1.0
+        assert stats.get("another.key", 12345) == 1.0
+
     def test_replay_cache_serves_failures_cleanly(self, tmp_path):
         store = ResultStore(tmp_path)
         bad = specs_for(16, workload="fir",

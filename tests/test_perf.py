@@ -1,6 +1,7 @@
 """The simulator benchmark harness and its regression gate."""
 
 import json
+import os
 
 import pytest
 
@@ -51,6 +52,28 @@ class TestBenchCase:
     def test_repeats_validated(self):
         with pytest.raises(ValueError):
             run_bench(cases=[CASE], repeats=0)
+
+    def test_polluted_environment_does_not_cripple_fast_leg(self, monkeypatch):
+        # An ambient REPRO_BLOCKS=0 / REPRO_PHASES=0 used to leak into
+        # the "fast" leg (only REPRO_FASTPATH was pinned), silently
+        # deflating the measured speedup and corrupting the gate.  The
+        # bench must pin every hatch, so the deterministic fast-leg
+        # event count is identical under a clean and a polluted caller
+        # environment.
+        case = BenchCase("bitonic-cc-c1", "bitonic", "cc", 1)
+        clean = bench_case(case, preset="tiny", repeats=1)
+        monkeypatch.setenv("REPRO_FASTPATH", "0")
+        monkeypatch.setenv("REPRO_BLOCKS", "0")
+        monkeypatch.setenv("REPRO_PHASES", "0")
+        polluted = bench_case(case, preset="tiny", repeats=1)
+        assert polluted["events"] == clean["events"]
+        assert polluted["slow_events"] == clean["slow_events"]
+        assert polluted["phase_iters_retired"] == clean["phase_iters_retired"]
+        assert polluted["exec_time_fs"] == clean["exec_time_fs"]
+        # The ambient values themselves survive the bench untouched.
+        assert os.environ["REPRO_BLOCKS"] == "0"
+        assert os.environ["REPRO_PHASES"] == "0"
+        assert os.environ["REPRO_FASTPATH"] == "0"
 
 
 class TestGate:
