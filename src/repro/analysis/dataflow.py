@@ -68,10 +68,12 @@ from repro.core.ops import (
     OP_PFS,
     OP_PHASE,
     OP_STORE,
+    OP_STREAM,
     OP_TASK_POP,
     OP_UNLOCK,
     OpBlock,
     OpPhase,
+    OpStream,
     merge_intervals,
 )
 from repro.workloads import get_workload
@@ -222,6 +224,47 @@ class PhaseProof:
 
 
 @dataclass(frozen=True)
+class StreamProof:
+    """Eligibility verdict for one dispatched OpStream descriptor.
+
+    The ``stream()`` factory already validates shape at construction
+    (table coverage, positive DMA ranges, kernel tables of OpBlocks),
+    so a dispatched descriptor is structurally sound; what remains to
+    prove is what lets the stream arm's renewal calculus retire whole
+    double-buffer iterations cheaply: every kernel lane closes in
+    arithmetic form (``arith_cycles`` precomputed) and every
+    local-store touch fits the capacity budget.  An ineligible stream
+    still runs bit-identically — the arm just spills the offending
+    kernels op by op.
+    """
+
+    name: str
+    steps: int
+    dispatches: int
+    iterations: int
+    dma_steps: int
+    kernels_arith: bool
+    ls_fits: bool
+
+    @property
+    def eligible(self) -> bool:
+        return self.kernels_arith and self.ls_fits
+
+    def render(self) -> str:
+        verdict = "eligible" if self.eligible else "NOT eligible"
+        why = []
+        if not self.kernels_arith:
+            why.append("non-arith kernel lanes")
+        if not self.ls_fits:
+            why.append("exceeds local store")
+        tail = f" ({', '.join(why)})" if why else ""
+        return (f"stream {self.name!r}: {self.steps} step(s) x "
+                f"{self.iterations} iteration(s) over "
+                f"{self.dispatches} dispatch(es), {self.dma_steps} DMA "
+                f"rim step(s): {verdict}{tail}")
+
+
+@dataclass(frozen=True)
 class LoopCandidate:
     """A raw-op loop that could be converted to OpBlock replay."""
 
@@ -253,6 +296,7 @@ class AuditReport:
     diagnostics: list[Diagnostic]
     blocks: list[BlockProof]
     phases: list[PhaseProof]
+    streams: list[StreamProof]
     candidates: list[LoopCandidate]
     ops_walked: int
     truncated: bool
@@ -275,6 +319,11 @@ class AuditReport:
         """True when the program dispatches at least one eligible phase."""
         return any(p.eligible for p in self.phases)
 
+    @property
+    def streamed(self) -> bool:
+        """True when the program dispatches at least one eligible stream."""
+        return any(s.eligible for s in self.streams)
+
     def to_dict(self) -> dict:
         return {
             "workload": self.workload,
@@ -287,9 +336,12 @@ class AuditReport:
                        for b in self.blocks],
             "phases": [dict(asdict(p), eligible=p.eligible)
                        for p in self.phases],
+            "streams": [dict(asdict(s), eligible=s.eligible)
+                        for s in self.streams],
             "candidates": [asdict(c) for c in self.candidates],
             "converted": self.converted,
             "phased": self.phased,
+            "streamed": self.streamed,
             "ops_walked": self.ops_walked,
             "truncated": self.truncated,
         }
@@ -300,6 +352,7 @@ class AuditReport:
             f"preset={self.preset}: {len(self.hazards)} hazard(s), "
             f"{len(self.warnings)} warning(s), {len(self.blocks)} block "
             f"template(s), {len(self.phases)} phase descriptor(s), "
+            f"{len(self.streams)} stream descriptor(s), "
             f"{len(self.candidates)} candidate loop(s) "
             f"[{self.ops_walked} ops walked]"
         ]
@@ -314,6 +367,8 @@ class AuditReport:
             lines.append("  " + b.render())
         for p in self.phases:
             lines.append("  " + p.render())
+        for s in self.streams:
+            lines.append("  " + s.render())
         for c in self.candidates:
             lines.append("  " + c.render())
         if self.truncated:
@@ -441,6 +496,7 @@ class _ProgramAuditor:
         self.cached_writes: list[Interval] = []
         self.block_stats: dict[int, dict] = {}
         self.phase_stats: dict[int, dict] = {}
+        self.stream_stats: dict[int, dict] = {}
         self.segments: list[tuple[str, list[tuple]]] = []
         self.pop_seq: dict[int, int] = {}
         self.unit_labels: dict[tuple, str] = {}
@@ -599,6 +655,9 @@ class _ProgramAuditor:
         elif kind == OP_PHASE:
             self._flush_trace(w)
             self._replay_phase(w, op[1])
+        elif kind == OP_STREAM:
+            self._flush_trace(w)
+            self._replay_stream(w, op[1])
         elif kind in (OP_DMA_GET, OP_DMA_PUT):
             self._flush_trace(w)
             self._dma_command(w, kind, op[1], op[2], op[3], op[4], op[5])
@@ -733,6 +792,31 @@ class _ProgramAuditor:
                 return
             for blk, base, stride in lanes:
                 self._replay_block(w, blk, base + k * stride)
+
+    def _replay_stream(self, w: _Walker, st: OpStream) -> None:
+        """Walk a stream as the materialized op run it stands for.
+
+        :meth:`OpStream.materialize` is the stream's ground truth, so
+        routing its chunks back through :meth:`_dispatch` keeps DMA
+        hazard tracking, tag accounting, and kernel block proofs
+        identical to the unconverted loop while the stream descriptor
+        itself gets a separate eligibility verdict.
+        """
+        stats = self.stream_stats.get(id(st))
+        if stats is None:
+            stats = self.stream_stats[id(st)] = {"st": st, "dispatches": 0,
+                                                 "iterations": 0}
+        stats["dispatches"] += 1
+        stats["iterations"] += st.count
+        k = 0
+        while k < st.count:
+            if self.ops_walked >= MAX_WALK_OPS:
+                self._mark_truncated()
+                return
+            hi = min(k + 256, st.count)
+            for mop in st.materialize(k, hi):
+                self._dispatch(w, mop)
+            k = hi
 
     def _dma_command(self, w: _Walker, kind: str, tag: int, addr: int,
                      nbytes: int, stride: int, block: int | None) -> None:
@@ -1003,6 +1087,59 @@ class _ProgramAuditor:
         proofs.sort(key=lambda p: (p.name, -p.iterations))
         return proofs
 
+    def stream_proofs(self) -> list[StreamProof]:
+        # Workloads mint one descriptor per (thread, vector) shape, so
+        # same-shaped descriptors aggregate under one proof:
+        # signature -> [dispatches, iterations].
+        grouped: dict[tuple, list[int]] = {}
+        capacity = (self.config.stream.local_store_bytes
+                    if self.streaming else 0)
+        for stats in self.stream_stats.values():
+            st: OpStream = stats["st"]
+            kernels_arith = True
+            ls_fits = True
+            dma_steps = 0
+            for step in st.steps:
+                kind = step[0]
+                if kind == OP_BLOCK:
+                    for blk in step[1][:st.count]:
+                        if blk.arith_cycles is None:
+                            kernels_arith = False
+                        if blk.ls_max_end > capacity:
+                            ls_fits = False
+                elif kind == OP_LOCAL_STORE:
+                    _, table, nbytes, _accesses = step
+                    if any(off + nbytes > capacity
+                           for off in table[:st.count]):
+                        ls_fits = False
+                elif kind in (OP_DMA_GET, OP_DMA_PUT):
+                    dma_steps += 1
+            key = (st.name or "anonymous", len(st.steps), dma_steps,
+                   kernels_arith, ls_fits)
+            counts = grouped.setdefault(key, [0, 0])
+            counts[0] += stats["dispatches"]
+            counts[1] += stats["iterations"]
+        proofs = []
+        for key, (dispatches, iterations) in grouped.items():
+            name, steps, dma_steps, kernels_arith, ls_fits = key
+            proof = StreamProof(
+                name=name,
+                steps=steps,
+                dispatches=dispatches,
+                iterations=iterations,
+                dma_steps=dma_steps,
+                kernels_arith=kernels_arith,
+                ls_fits=ls_fits,
+            )
+            proofs.append(proof)
+            if not proof.eligible:
+                self._sink(Diagnostic(
+                    WARNING, "stream-proof-failed",
+                    f"dispatched stream {proof.name!r} fails its "
+                    "eligibility proof: " + proof.render()))
+        proofs.sort(key=lambda p: (p.name, -p.iterations))
+        return proofs
+
     # -- candidate loops -----------------------------------------------
 
     def find_candidates(self) -> list[LoopCandidate]:
@@ -1137,6 +1274,7 @@ class _ProgramAuditor:
     def report(self) -> AuditReport:
         blocks = self.block_proofs()
         phases = self.phase_proofs()
+        streams = self.stream_proofs()
         candidates = self.find_candidates()
         return AuditReport(
             workload=self.workload,
@@ -1146,6 +1284,7 @@ class _ProgramAuditor:
             diagnostics=list(self.diagnostics),
             blocks=blocks,
             phases=phases,
+            streams=streams,
             candidates=candidates,
             ops_walked=self.ops_walked,
             truncated=self.truncated,

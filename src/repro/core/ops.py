@@ -53,6 +53,7 @@ OP_CACHE_FLUSH = "cfl"
 OP_CACHE_INVALIDATE = "cinv"
 OP_BLOCK = "blk"
 OP_PHASE = "ph"
+OP_STREAM = "strm"
 
 WORD_BYTES = 4
 
@@ -255,6 +256,7 @@ MAX_BLOCK_OPS = 4096
 #: replay a block without consulting the scheduler or the generator.
 _BLOCK_REJECTED = frozenset({
     OP_BARRIER, OP_LOCK, OP_UNLOCK, OP_TASK_POP, OP_BLOCK, OP_PHASE,
+    OP_STREAM,
 })
 
 #: Ops the closed-form path can retire arithmetically: their cost is a
@@ -867,6 +869,230 @@ def phase(*lanes: tuple, count: int, name: str | None = None) -> OpPhase:
                     f"{blk.min_addr:#x} negative")
         checked.append((blk, base, stride))
     return OpPhase(tuple(checked), count, name)
+
+
+# ----------------------------------------------------------------------
+# Op streams: whole double-buffered DMA loops as one descriptor
+# ----------------------------------------------------------------------
+
+#: Upper bound on iterations per stream (guards a nonsensical
+#: descriptor; streams materialize lazily in bounded chunks).
+MAX_STREAM_ITERS = 1 << 24
+
+
+class OpStream:
+    """A run of ``count`` double-buffered DMA loop iterations.
+
+    The canonical streaming-model hot loop — *fetch the next tile /
+    wait for this one / run the local-store kernel / put the previous
+    tile back* — is described once as a step list evaluated per
+    iteration ``k``:
+
+    * ``("dget", tag0, alt, ahead, table)`` — issue one DMA get per
+      ``(addr, nbytes)`` pair in ``table[k + ahead]`` under tag
+      ``tag0 + ((k + ahead) & alt)``; skipped when ``k + ahead >=
+      count`` (the look-ahead fetch has nothing left to prefetch).
+    * ``("dput", tag0, alt, 0, table)`` — the put mirror, indexed at
+      ``k`` itself.
+    * ``("dwait", tag0, alt, kmin)`` — wait on tag ``tag0 + (k & alt)``;
+      skipped while ``k < kmin`` (the tag has not been issued yet).
+    * ``("blk", table)`` — replay the :class:`OpBlock` ``table[k]`` at
+      delta 0 (streaming kernels address the local store, which never
+      shifts).
+    * ``("lsst", table, nbytes, accesses)`` — a bare local-store write
+      at offset ``table[k]`` (e.g. bitonic's hi-half writeback between
+      the two puts of an iteration).
+
+    Tables are plain per-thread sequences (addresses need not follow
+    any stride — filtered block lists and mesh-indexed gathers index
+    straight in), so one descriptor covers a whole pass.  Yielding the
+    stream op means exactly yielding :meth:`materialize`'s op tuples
+    one by one; the processor's stream arm interprets the steps with
+    bit-identical per-op semantics but no generator round trips, and
+    ``REPRO_STREAMS=0`` (or a mid-iteration suspension point) falls
+    back to the materialized chunks.
+    """
+
+    __slots__ = ("steps", "count", "name")
+
+    def __init__(self, steps: tuple, count: int, name: str | None) -> None:
+        self.steps = steps
+        self.count = count
+        self.name = name
+
+    def __repr__(self) -> str:
+        label = self.name or "anonymous"
+        return (f"<OpStream {label!r}: {len(self.steps)} step(s) "
+                f"x {self.count} iterations>")
+
+    def op(self) -> tuple:
+        """The stream op this descriptor is yielded as."""
+        return (OP_STREAM, self)
+
+    def materialize(self, start: int = 0, stop: int | None = None,
+                    step0: int = 0) -> list:
+        """The plain per-op DMA stream for iterations ``[start, stop)``.
+
+        This *is* the stream's semantics: every execution mode other
+        than the stream arm (``REPRO_STREAMS=0``, or a resume after a
+        mid-iteration quantum yield) runs exactly these tuples through
+        the ordinary dispatch arms.  ``step0`` skips the first
+        iteration's leading steps (a quantum yield spills the rest of
+        the interrupted iteration, not all of it).
+        """
+        if stop is None:
+            stop = self.count
+        count = self.count
+        all_steps = self.steps
+        first_steps = all_steps[step0:] if step0 else all_steps
+        out = []
+        emit = out.append
+        for k in range(start, stop):
+            for step in first_steps if k == start else all_steps:
+                kind = step[0]
+                if kind == OP_DMA_GET or kind == OP_DMA_PUT:
+                    _, tag0, alt, ahead, table = step
+                    j = k + ahead
+                    if j >= count:
+                        continue
+                    tag = tag0 + (j & alt)
+                    for addr, nbytes in table[j]:
+                        emit((kind, tag, addr, nbytes, 0, None))
+                elif kind == OP_DMA_WAIT:
+                    _, tag0, alt, kmin = step
+                    if k >= kmin:
+                        emit((OP_DMA_WAIT, tag0 + (k & alt)))
+                elif kind == OP_BLOCK:
+                    emit((OP_BLOCK, step[1][k], 0))
+                else:  # lsst
+                    _, table, nbytes, accesses = step
+                    emit((OP_LOCAL_STORE, table[k], nbytes, accesses))
+        return out
+
+    def footprint(self):
+        """All DMA commands the stream issues, as raw command tuples.
+
+        Returns ``(gets, puts)`` where each entry is ``(tag, addr,
+        nbytes, 0, None)`` in issue order — the shape the static
+        dataflow auditor feeds its range checks.
+        """
+        gets: list = []
+        puts: list = []
+        count = self.count
+        for k in range(count):
+            for step in self.steps:
+                kind = step[0]
+                if kind == OP_DMA_GET or kind == OP_DMA_PUT:
+                    _, tag0, alt, ahead, table = step
+                    j = k + ahead
+                    if j >= count:
+                        continue
+                    tag = tag0 + (j & alt)
+                    sink = gets if kind == OP_DMA_GET else puts
+                    for addr, nbytes in table[j]:
+                        sink.append((tag, addr, nbytes, 0, None))
+        return gets, puts
+
+
+def _check_table(table, need: int, what: str) -> None:
+    if len(table) < need:
+        raise ValueError(
+            f"stream {what} table holds {len(table)} entries; "
+            f"the stream needs {need}")
+
+
+def stream_get(tag0: int, table, alternate: bool = True,
+               ahead: int = 0) -> tuple:
+    """A per-iteration DMA-get step for :func:`stream`.
+
+    ``table[j]`` is the tuple of ``(addr, nbytes)`` commands iteration
+    ``k = j - ahead`` issues; ``ahead=1`` is the double-buffer
+    look-ahead fetch (skipped on the last iteration, and ``table[0]``
+    is left to the loop prologue).  ``alternate`` selects the
+    ping-pong tag ``tag0 + (j & 1)``.
+    """
+    if tag0 < 0 or ahead < 0:
+        raise ValueError(f"bad stream get tag={tag0} ahead={ahead}")
+    return (OP_DMA_GET, tag0, 1 if alternate else 0, ahead, table)
+
+
+def stream_put(tag0: int, table, alternate: bool = True) -> tuple:
+    """The DMA-put mirror of :func:`stream_get`, indexed at ``k``."""
+    if tag0 < 0:
+        raise ValueError(f"negative stream put tag {tag0}")
+    return (OP_DMA_PUT, tag0, 1 if alternate else 0, 0, table)
+
+
+def stream_wait(tag0: int, alternate: bool = True, first: int = 0) -> tuple:
+    """A per-iteration DMA-wait step: skipped while ``k < first``."""
+    if tag0 < 0 or first < 0:
+        raise ValueError(f"bad stream wait tag={tag0} first={first}")
+    return (OP_DMA_WAIT, tag0, 1 if alternate else 0, first)
+
+
+def stream_kernel(table) -> tuple:
+    """The per-iteration local-store kernel step: replay ``table[k]``."""
+    return (OP_BLOCK, table)
+
+
+def stream_store(table, nbytes: int, accesses: int | None = None) -> tuple:
+    """A bare per-iteration local-store write at offset ``table[k]``."""
+    if nbytes <= 0:
+        raise ValueError(f"stream store must cover at least one byte, "
+                         f"got {nbytes}")
+    if accesses is None:
+        accesses = (nbytes >> 2) or 1
+    elif accesses <= 0:
+        raise ValueError(f"access count must be positive, got {accesses}")
+    return (OP_LOCAL_STORE, table, nbytes, accesses)
+
+
+def stream(*steps: tuple, count: int, name: str | None = None) -> OpStream:
+    """Build an immutable, validated :class:`OpStream` from step tuples.
+
+    Validation is front-loaded here so the stream arm does none: every
+    step must come from one of the ``stream_*`` factories above, every
+    table must cover the iterations that index it, kernel tables must
+    hold :class:`OpBlock` templates, and DMA tables must hold positive
+    line ranges.
+    """
+    if not steps:
+        raise ValueError("a stream must contain at least one step")
+    if not isinstance(count, int) or count < 1:
+        raise ValueError(f"stream iteration count must be >= 1, got {count!r}")
+    if count > MAX_STREAM_ITERS:
+        raise ValueError(
+            f"stream of {count} iterations exceeds "
+            f"MAX_STREAM_ITERS={MAX_STREAM_ITERS}")
+    for step in steps:
+        kind = step[0]
+        if kind == OP_DMA_GET or kind == OP_DMA_PUT:
+            _, _tag0, _alt, ahead, table = step
+            # The look-ahead step's last used index is count - 1 (the
+            # guard skips k + ahead >= count), so every step needs
+            # exactly count table entries.
+            _check_table(table, count, "DMA")
+            for j in range(ahead, count):
+                for addr, nbytes in table[j]:
+                    if addr < 0 or nbytes <= 0:
+                        raise ValueError(
+                            f"bad stream DMA range addr={addr:#x} "
+                            f"nbytes={nbytes}")
+        elif kind == OP_DMA_WAIT:
+            pass
+        elif kind == OP_BLOCK:
+            table = step[1]
+            _check_table(table, count, "kernel")
+            for tmpl in table:
+                if not isinstance(tmpl, OpBlock):
+                    raise ValueError(
+                        f"stream kernel table must hold OpBlock "
+                        f"templates, got {tmpl!r}")
+        elif kind == OP_LOCAL_STORE:
+            _check_table(step[1], count, "local-store")
+        else:
+            raise ValueError(f"unknown stream step {step!r}")
+    return OpStream(tuple(steps), count, name)
 
 
 def phase_runs(replays, name: str | None = None):

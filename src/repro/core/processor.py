@@ -27,7 +27,12 @@ from repro.core.sync import (
     TASK_POP_OVERHEAD_CYCLES,
 )
 from repro.mem.coherence import MesiState
-from repro.sim.fastpath import blocks_enabled, fastpath_enabled, phases_enabled
+from repro.sim.fastpath import (
+    blocks_enabled,
+    fastpath_enabled,
+    phases_enabled,
+    streams_enabled,
+)
 from repro.sim.kernel import SimulationError
 from repro.units import ns_to_fs
 
@@ -58,6 +63,17 @@ PHASE_MIN_RETIRE = 4
 #: full chunk rather than re-proving the schedule every few iterations;
 #: the block interpreter's own closed form keeps the spilled chunk fast.
 PHASE_SCHED_SPILL = 64
+
+#: Iterations a demoted stream (``REPRO_STREAMS=0``) materializes per
+#: chunk back into the plain per-op DMA stream.
+STREAM_SPILL_CHUNK = 64
+
+#: Block dispatches that skip the per-op inline L1 pre-probe after one
+#: full dispatch of the template observed zero inline hits (the probe
+#: then only doubles the miss path's lookups), before probing one
+#: dispatch again in case residency returned.  Wall-clock only: the
+#: walker retires a hit bit-identically to the inline probe.
+BLK_COLD_SKIP = 15
 
 
 def _limit_after_block(start_fs: int, limit_fs: int, cycle_fs: int,
@@ -150,10 +166,17 @@ class Processor:
         #: closed form retires *block* iterations, so it additionally
         #: requires the block interpreter to be on.
         self._phases = phases_enabled() and self._blocks
+        #: Stream engine switch (REPRO_STREAMS); when off, every
+        #: OpStream is materialized back into the plain per-op DMA
+        #: stream in bounded chunks.
+        self._streams = streams_enabled()
         #: Ops spilled from a block (materialized remainder after a
         #: mid-block yield, or a whole block under REPRO_BLOCKS=0),
         #: consumed LIFO before the generator is consulted again.
         self._pending: list[tuple] = []
+        #: Per-template cold verdicts: id(blk) -> dispatches left to
+        #: skip the inline L1 pre-probe (see :data:`BLK_COLD_SKIP`).
+        self._blk_verdicts: dict[int, int] = {}
         # Clock and accounting (all femtoseconds)
         self.now = 0
         self.useful_fs = 0
@@ -169,6 +192,11 @@ class Processor:
         #: (mode-independent: counted once whether retired or spilled).
         self.phase_iters = 0
         self.phase_iters_total = 0
+        #: Iterations driven by the stream arm (mode-dependent
+        #: diagnostic) and total iterations dispatched as streams
+        #: (counted once whether interpreted or materialized).
+        self.stream_iters = 0
+        self.stream_iters_total = 0
         self.done = False
         self.finish_fs = 0
 
@@ -258,7 +286,9 @@ class Processor:
         fast_mem = fastpath and hierarchy.fastpath_safe
         blocks_on = self._blocks
         phases_on = self._phases
+        streams_on = self._streams
         pending = self._pending
+        verdicts = self._blk_verdicts
         # Per-op invariants hoisted to loop-locals: resolved once per
         # scheduling slice instead of once per op.
         local_store = (self._local_store[core_id]
@@ -294,6 +324,8 @@ class Processor:
         stores_hit = 0
         phase_retired = 0
         phase_total = 0
+        stream_retired = 0
+        stream_total = 0
 
         # Exit actions: how the loop below was left.
         FINISH, SUSPEND, YIELD = 0, 1, 2
@@ -662,16 +694,189 @@ class Processor:
                             # still blocks and one iteration spills).
                             pending.append(("ph", ph, k0))
                         else:
-                            # Residency failed at iteration k0: replay a
-                            # bounded chunk through the block interpreter,
-                            # which reproduces the miss — stalls, walker
-                            # calls, evictions — bit for bit, then resume
-                            # the phase.  A whole chunk (not a single
-                            # iteration) spills because a non-resident
-                            # line usually means a streaming access
-                            # pattern where the *next* iterations miss
-                            # too; re-proving the slice per miss would
-                            # cost a gate + scan per iteration.
+                            # Residency failed at iteration k0.  For a
+                            # single-lane cache phase this is usually a
+                            # *miss stream* — a never-resident strided
+                            # scan (fir-cc) taking one compulsory miss
+                            # per line — so the miss arm below drives the
+                            # hierarchy walker directly in a fused
+                            # per-line loop: exact stalls, evictions and
+                            # coherence traffic (the very walker calls
+                            # the per-op path makes), none of the
+                            # per-iteration pending churn of a block
+                            # spill.  An iteration that completes with
+                            # zero walker calls means residency is back,
+                            # so the loop hands the cursor straight back
+                            # to the closed form.
+                            blk0, base0, stride0 = lanes[0]
+                            if len(lanes) == 1 and not blk0.has_local:
+                                k_hi = k0 + PHASE_SPILL_CHUNK
+                                if k_hi > count:
+                                    k_hi = count
+                                ops_seq = blk0.ops
+                                n_ops = len(ops_seq)
+                                # Same cold-probe economics as the block
+                                # arm: a never-resident stream pays the
+                                # inline L1 probe *and* the walker on
+                                # every line.  Once a full chunk walks
+                                # with zero hits, later dispatches skip
+                                # the probe and drive the walker directly
+                                # (walker-served hits fold into the same
+                                # counters, so stats cannot diverge).
+                                pid = id(ph)
+                                skip = verdicts.get(pid, 0)
+                                if skip:
+                                    verdicts[pid] = skip - 1
+                                    probe = False
+                                    hits0 = -1
+                                else:
+                                    probe = True
+                                    hits0 = loads_hit + stores_hit
+                                k = k0
+                                yielded = False
+                                while k < k_hi:
+                                    delta = base0 + k * stride0
+                                    missed = False
+                                    index = 0
+                                    while index < n_ops:
+                                        bop = ops_seq[index]
+                                        index += 1
+                                        bkind = bop[0]
+                                        if bkind == "ld":
+                                            _, addr, nbytes, accesses = bop
+                                            addr += delta
+                                            issue = accesses * cycle_fs
+                                            now += issue
+                                            useful += issue
+                                            instructions += accesses
+                                            word_accesses += accesses
+                                            line = addr >> line_shift
+                                            last = ((addr + nbytes - 1)
+                                                    >> line_shift)
+                                            while True:
+                                                if probe:
+                                                    cache_set = l1_sets[
+                                                        line & l1_mask]
+                                                    entry = cache_set.get(
+                                                        line)
+                                                else:
+                                                    entry = None
+                                                if (entry is not None
+                                                        and entry.ready_fs
+                                                        <= now
+                                                        and not
+                                                        entry.prefetched):
+                                                    cache_set.move_to_end(
+                                                        line)
+                                                    loads_hit += 1
+                                                else:
+                                                    missed = True
+                                                    done = load_line(
+                                                        core_id, line, now)
+                                                    if done > now:
+                                                        load_stall += (
+                                                            done - now)
+                                                        now = done
+                                                if line == last:
+                                                    break
+                                                line += 1
+                                        elif bkind == "c":
+                                            (_, cycles, op_instructions,
+                                             l1_accesses) = bop
+                                            cost = cycles * cycle_fs
+                                            now += cost
+                                            useful += cost
+                                            instructions += op_instructions
+                                            word_accesses += l1_accesses
+                                        else:  # st / pfs
+                                            _, addr, nbytes, accesses = bop
+                                            addr += delta
+                                            issue = accesses * cycle_fs
+                                            now += issue
+                                            useful += issue
+                                            instructions += accesses
+                                            word_accesses += accesses
+                                            no_allocate = bkind == "pfs"
+                                            line = addr >> line_shift
+                                            last = ((addr + nbytes - 1)
+                                                    >> line_shift)
+                                            while True:
+                                                if probe:
+                                                    cache_set = l1_sets[
+                                                        line & l1_mask]
+                                                    entry = cache_set.get(
+                                                        line)
+                                                else:
+                                                    entry = None
+                                                if (entry is not None
+                                                        and entry.state
+                                                        is not shared):
+                                                    cache_set.move_to_end(
+                                                        line)
+                                                    entry.state = modified
+                                                    entry.prefetched = False
+                                                    stores_hit += 1
+                                                else:
+                                                    missed = True
+                                                    stall = store_line(
+                                                        core_id, line, now,
+                                                        no_allocate=
+                                                        no_allocate)
+                                                    if stall:
+                                                        store_stall += stall
+                                                        now += stall
+                                                if line == last:
+                                                    break
+                                                line += 1
+                                        if now >= limit:
+                                            next_fs = peek_time()
+                                            if (next_fs is None
+                                                    or next_fs > now):
+                                                limit = now + quantum_fs
+                                                continue
+                                            yielded = True
+                                            break
+                                    if yielded:
+                                        if index == n_ops:
+                                            phase_retired += 1
+                                            k += 1
+                                            if k < count:
+                                                pending.append(
+                                                    ("ph", ph, k))
+                                        else:
+                                            if k + 1 < count:
+                                                pending.append(
+                                                    ("ph", ph, k + 1))
+                                            pending.append(
+                                                ("blk", blk0, delta, index))
+                                        break
+                                    phase_retired += 1
+                                    k += 1
+                                    if not missed:
+                                        # Fully hit: the stream is
+                                        # resident again; let the closed
+                                        # form take over.
+                                        break
+                                if (hits0 >= 0 and not yielded
+                                        and loads_hit + stores_hit
+                                        == hits0):
+                                    verdicts[pid] = BLK_COLD_SKIP
+                                if yielded:
+                                    action = YIELD
+                                    break
+                                if k < count:
+                                    pending.append(("ph", ph, k))
+                                continue
+                            # Multi-lane or local-store phase: replay a
+                            # bounded chunk through the block
+                            # interpreter, which reproduces the miss —
+                            # stalls, walker calls, evictions — bit for
+                            # bit, then resume the phase.  A whole chunk
+                            # (not a single iteration) spills because a
+                            # non-resident line usually means a streaming
+                            # access pattern where the *next* iterations
+                            # miss too; re-proving the slice per miss
+                            # would cost a gate + scan per iteration.
                             k_hi = k0 + PHASE_SPILL_CHUNK
                             if k_hi < count:
                                 pending.append(("ph", ph, k_hi))
@@ -681,6 +886,153 @@ class Processor:
                                 for blk, base, stride in reversed(lanes):
                                     pending.append(
                                         ("blk", blk, base + k * stride))
+                    continue
+
+                elif kind == "strm":
+                    # Stream arm (see repro.core.ops.OpStream): interpret
+                    # the per-iteration step list of a double-buffered
+                    # DMA loop directly — same primitives as the dget /
+                    # dput / dwait / lsst arms below, bit for bit, but no
+                    # generator round trips and no per-op tuple traffic.
+                    # Kernel steps detour through the block arm (closed
+                    # form when resident) via a resume cursor.
+                    st = op[1]
+                    # A 4-tuple is a resume cursor: re-enter at iteration
+                    # k, step index si.  The mode-independent total is
+                    # counted once, at first dispatch.
+                    if len(op) == 4:
+                        k = op[2]
+                        si = op[3]
+                    else:
+                        k = 0
+                        si = 0
+                        stream_total += st.count
+                    count = st.count
+                    if not streams_on:
+                        # Escape hatch: materialize a bounded chunk back
+                        # into the plain per-op DMA stream, handled by
+                        # the ordinary dispatch arms.
+                        k_hi = k + STREAM_SPILL_CHUNK
+                        if k_hi < count:
+                            pending.append(("strm", st, k_hi, 0))
+                        else:
+                            k_hi = count
+                        pending.extend(reversed(st.materialize(k, k_hi)))
+                        continue
+                    steps = st.steps
+                    n_steps = len(steps)
+                    # How the step loop was left: 0 = stream complete,
+                    # 1 = quantum yield (remainder spilled), 2 = kernel
+                    # detour (cursor + block pushed on pending).
+                    leave = 0
+                    while True:
+                        if si == n_steps:
+                            si = 0
+                            k += 1
+                            stream_retired += 1
+                            if k == count:
+                                break
+                        step = steps[si]
+                        si += 1
+                        skind = step[0]
+                        # Set to the current step's unexecuted remainder
+                        # (possibly empty) when the quantum expires and
+                        # the renewal fails: the rest of the iteration is
+                        # materialized behind a next-iteration cursor.
+                        part = None
+                        if skind == "dget" or skind == "dput":
+                            _, tag0, alt, ahead, table = step
+                            j = k + ahead
+                            if j >= count:
+                                continue
+                            tag = tag0 + (j & alt)
+                            if dma_engine is None:
+                                raise SimulationError(
+                                    f"core {core_id}: DMA issued on the "
+                                    "cache-coherent model")
+                            issue_cmd = (dma_engine.get if skind == "dget"
+                                         else dma_engine.put)
+                            cmds = table[j]
+                            n_cmds = len(cmds)
+                            ci = 0
+                            while ci < n_cmds:
+                                addr, nbytes = cmds[ci]
+                                ci += 1
+                                now += dma_setup_fs
+                                useful += dma_setup_fs
+                                instructions += dma_setup_cycles
+                                done = issue_cmd(now, addr, nbytes, 0, None)
+                                previous = dma_tags.get(tag, 0)
+                                if done > previous:
+                                    dma_tags[tag] = done
+                                if now >= limit:
+                                    if fastpath:
+                                        next_fs = peek_time()
+                                        if next_fs is None or next_fs > now:
+                                            limit = now + quantum_fs
+                                            continue
+                                    part = [(skind, tag, a, n, 0, None)
+                                            for a, n in cmds[ci:]]
+                                    break
+                        elif skind == "dwait":
+                            _, tag0, alt, kmin = step
+                            if k < kmin:
+                                continue
+                            done = dma_tags.get(tag0 + (k & alt))
+                            if done is None:
+                                raise SimulationError(
+                                    f"core {core_id}: dwait on tag "
+                                    f"{tag0 + (k & alt)} which never "
+                                    "issued a DMA command")
+                            if done > now:
+                                sync += done - now
+                                now = done
+                            if now >= limit:
+                                if fastpath:
+                                    next_fs = peek_time()
+                                    if next_fs is None or next_fs > now:
+                                        limit = now + quantum_fs
+                                    else:
+                                        part = []
+                                else:
+                                    part = []
+                        elif skind == "lsst":
+                            _, table, nbytes, accesses = step
+                            if local_store is None:
+                                raise SimulationError(
+                                    f"core {core_id}: local-store access "
+                                    "on the cache-coherent model")
+                            local_store.check_range(table[k], nbytes)
+                            local_store.record_write(nbytes, accesses)
+                            issue = accesses * cycle_fs
+                            now += issue
+                            useful += issue
+                            instructions += accesses
+                            local_accesses += accesses
+                            if now >= limit:
+                                if fastpath:
+                                    next_fs = peek_time()
+                                    if next_fs is None or next_fs > now:
+                                        limit = now + quantum_fs
+                                    else:
+                                        part = []
+                                else:
+                                    part = []
+                        else:  # blk: kernel detour through the block arm
+                            pending.append(("strm", st, k, si))
+                            pending.append(("blk", step[1][k], 0))
+                            leave = 2
+                            break
+                        if part is not None:
+                            leave = 1
+                            part.extend(st.materialize(k, k + 1, si))
+                            if k + 1 < count:
+                                pending.append(("strm", st, k + 1, 0))
+                            pending.extend(reversed(part))
+                            break
+                    if leave == 1:
+                        action = YIELD
+                        break
                     continue
 
                 elif kind == "blk":
@@ -697,7 +1049,26 @@ class Processor:
                         # the ordinary dispatch arms above.
                         pending.extend(reversed(blk.materialize(delta)))
                         continue
-                    if start == 0 and fast_mem and not (delta & line_mask):
+                    # Per-template verdict (see BLK_COLD_SKIP): positive =
+                    # cold for that many dispatches (a prior full dispatch
+                    # saw zero L1 hits — a streaming-through-memory pass —
+                    # so the closed form cannot succeed and the per-op
+                    # pre-probe only doubles every miss's lookups; skip
+                    # geometry, residency scan, and probes, and let the
+                    # walker serve any hit bit-identically).  Negative =
+                    # hot (a prior full dispatch retired without a single
+                    # walker call, so the closed form is worth its
+                    # geometry).  Zero = unproven: run the probing loop
+                    # and let the outcome classify the template — this
+                    # defers the geometry build past templates that never
+                    # become resident at all.
+                    resident = False
+                    bid = id(blk)
+                    state = verdicts.get(bid, 0)
+                    if state > 0:
+                        verdicts[bid] = state - 1
+                    elif (state < 0 and start == 0 and fast_mem
+                          and not (delta & line_mask)):
                         # Closed form: if every line the block touches is
                         # a guaranteed inline hit and no foreign event
                         # intervenes before the block's end, the whole
@@ -730,6 +1101,12 @@ class Processor:
                                   and local_store.observer is None
                                   and blk.ls_max_end
                                   <= local_store.capacity_bytes)
+                        # Past this point a failure is the *schedule*
+                        # (a foreign event lands mid-block), not
+                        # residency — the per-op probes below would all
+                        # hit, so the cold verdict must not suppress
+                        # them.
+                        resident = ok
                         if ok:
                             end = now + blk.arith_cycles * cycle_fs
                             if end >= limit:
@@ -767,10 +1144,24 @@ class Processor:
                     # round trips.  Only arithmetic opcodes occur here
                     # (compute / ld / st / pfs / lsld / lsst) — blocks
                     # with anything else were materialized above.
+                    #
+                    # A schedule-blocked resident dispatch keeps its
+                    # probes (they are guaranteed hits) and neither
+                    # consumes nor records a verdict.
+                    if resident:
+                        probe = fast_mem
+                        hits0 = -1
+                    elif state > 0:
+                        probe = False
+                        hits0 = -1
+                    else:
+                        probe = fast_mem
+                        hits0 = loads_hit + stores_hit
                     ops_seq = blk.ops
                     n_ops = len(ops_seq)
                     index = start
                     yielded = False
+                    missed = False
                     while index < n_ops:
                         bop = ops_seq[index]
                         index += 1
@@ -786,7 +1177,7 @@ class Processor:
                             line = addr >> line_shift
                             last = (addr + nbytes - 1) >> line_shift
                             while True:
-                                if fast_mem:
+                                if probe:
                                     cache_set = l1_sets[line & l1_mask]
                                     entry = cache_set.get(line)
                                     if (entry is not None
@@ -798,6 +1189,7 @@ class Processor:
                                             break
                                         line += 1
                                         continue
+                                missed = True
                                 done = load_line(core_id, line, now)
                                 if done > now:
                                     load_stall += done - now
@@ -824,7 +1216,7 @@ class Processor:
                             line = addr >> line_shift
                             last = (addr + nbytes - 1) >> line_shift
                             while True:
-                                if fast_mem:
+                                if probe:
                                     cache_set = l1_sets[line & l1_mask]
                                     entry = cache_set.get(line)
                                     if (entry is not None
@@ -837,6 +1229,7 @@ class Processor:
                                             break
                                         line += 1
                                         continue
+                                missed = True
                                 stall = store_line(core_id, line, now,
                                                    no_allocate=no_allocate)
                                 if stall:
@@ -871,6 +1264,16 @@ class Processor:
                                 pending.append(("blk", blk, delta, index))
                             yielded = True
                             break
+                    if hits0 >= 0 and not yielded and start == 0:
+                        if probe and not missed:
+                            # Not a single walker call: every line was
+                            # served inline (or the block touches no L1
+                            # lines at all — a local-store kernel).  The
+                            # closed form would have retired this
+                            # dispatch whole; promote the template.
+                            verdicts[bid] = -1
+                        elif loads_hit + stores_hit == hits0:
+                            verdicts[bid] = BLK_COLD_SKIP
                     if yielded:
                         action = YIELD
                         break
@@ -1010,7 +1413,8 @@ class Processor:
             self._flush_locals(
                 now, send_value, useful, sync, load_stall, store_stall,
                 instructions, word_accesses, local_accesses, icache_misses,
-                loads_hit, stores_hit, phase_retired, phase_total)
+                loads_hit, stores_hit, phase_retired, phase_total,
+                stream_retired, stream_total)
         if action == FINISH:
             self._finish()
         elif action == YIELD:
@@ -1019,7 +1423,8 @@ class Processor:
     def _flush_locals(self, now, send_value, useful, sync, load_stall,
                       store_stall, instructions, word_accesses,
                       local_accesses, icache_misses, loads_hit,
-                      stores_hit, phase_retired, phase_total) -> None:
+                      stores_hit, phase_retired, phase_total,
+                      stream_retired, stream_total) -> None:
         """Fold the hot loop's batched deltas back into the object state."""
         self.now = now
         self._send_value = send_value
@@ -1033,6 +1438,8 @@ class Processor:
         self.icache_misses += icache_misses
         self.phase_iters += phase_retired
         self.phase_iters_total += phase_total
+        self.stream_iters += stream_retired
+        self.stream_iters_total += stream_total
         if loads_hit or stores_hit:
             self.hierarchy.fold_hit_counters(loads_hit, stores_hit)
 

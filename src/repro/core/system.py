@@ -152,6 +152,10 @@ class CmpSystem:
             "sim.phase_iters": sum(p.phase_iters for p in self.processors),
             "sim.phase_iters_total": sum(
                 p.phase_iters_total for p in self.processors),
+            "sim.stream_iters": sum(
+                p.stream_iters for p in self.processors),
+            "sim.stream_iters_total": sum(
+                p.stream_iters_total for p in self.processors),
         }
         if config.model is MemoryModel.STREAMING:
             stats["dma.commands"] = hierarchy.dma_commands

@@ -6,10 +6,12 @@ this one measures the *simulator*, so the run-until-miss fast path
 stay fast as the codebase grows.  ``python -m repro perf bench`` times a
 fixed set of workload/model/core-count cases twice per case — once with
 every acceleration hatch enabled (``REPRO_FASTPATH``, ``REPRO_BLOCKS``,
-``REPRO_PHASES`` all ``1``) and once with all of them disabled — and
-writes a ``BENCH_<rev>.json`` report with, per case:
+``REPRO_PHASES``, ``REPRO_STREAMS`` all ``1``) and once with all of them
+disabled — and writes a ``BENCH_<rev>.json`` report with, per case:
 
-* best-of-N wall time in both modes and the fast/slow **speedup**,
+* best-of-N wall time in both modes and the fast/slow **speedup**
+  (median of the per-repeat slow/fast ratios, each pairing two
+  back-to-back runs so host load drift divides out),
 * **events/sec** and **simulated-ops/sec** (dispatch and retirement
   throughput of the event kernel),
 * the deterministic fast-mode **event count** (the quantum-extension
@@ -17,7 +19,10 @@ writes a ``BENCH_<rev>.json`` report with, per case:
 * the phase-engine counters — **phase_iters_retired** (iterations the
   closed-form phase arm retired) and **phase_coverage** (the fraction of
   dispatched phase iterations it retired) — so silent de-vectorization
-  of a workload shows up in the committed baseline diff.
+  of a workload shows up in the committed baseline diff, and
+* the stream-engine counters — **stream_iters_retired** and
+  **stream_coverage** — the same guard for the streaming model's
+  double-buffered DMA loops (:class:`~repro.core.ops.OpStream`).
 
 Regression gating compares a fresh report against the committed
 ``BENCH_baseline.json``.  Absolute wall times are not comparable across
@@ -41,14 +46,15 @@ import time
 from dataclasses import asdict, dataclass
 
 #: Report schema version (bump when the JSON layout changes).
-SCHEMA = 2
+SCHEMA = 3
 
 #: Every acceleration hatch the simulator reads at construction time.
 #: The bench pins ALL of them — fast leg all-on, slow leg all-off — so
 #: an ambient ``REPRO_BLOCKS=0`` or ``REPRO_PHASES=0`` in the caller's
 #: environment cannot silently cripple the fast leg and corrupt the
 #: speedup gate.
-_HATCH_VARS = ("REPRO_FASTPATH", "REPRO_BLOCKS", "REPRO_PHASES")
+_HATCH_VARS = ("REPRO_FASTPATH", "REPRO_BLOCKS", "REPRO_PHASES",
+               "REPRO_STREAMS")
 
 #: Baseline speedups below this are inside host timing noise (the case is
 #: miss-path bound, so the fast path barely moves its wall time); gating
@@ -56,6 +62,12 @@ _HATCH_VARS = ("REPRO_FASTPATH", "REPRO_BLOCKS", "REPRO_PHASES")
 #: deterministic event-count check — a disabled or broken fast path
 #: inflates events by orders of magnitude, noise-free.
 SPEEDUP_GATE_MIN = 1.25
+
+#: No case may come in below this fast/slow ratio: a hatch whose
+#: bookkeeping costs more than it saves on some case is a net loss and
+#: must gain a cheaper ineligibility exit, not ride along.  Set under
+#: 1.0 only to absorb host timing noise on ratio-~1.0 cases.
+SPEEDUP_NET_LOSS_FLOOR = 0.95
 
 
 @dataclass(frozen=True)
@@ -87,7 +99,9 @@ DEFAULT_CASES: tuple[BenchCase, ...] = (
     BenchCase("bitonic-str-c1", "bitonic", "str", 1),
     BenchCase("merge-str-c4", "merge", "str", 4),
     BenchCase("art-cc-c4", "art", "cc", 4),
+    BenchCase("art-str-c1", "art", "str", 1),
     BenchCase("fem-cc-c4", "fem", "cc", 4),
+    BenchCase("fem-str-c4", "fem", "str", 4),
 )
 
 
@@ -122,24 +136,50 @@ def _run_case(case: BenchCase, preset: str, fastpath: bool):
                 os.environ[var] = value
 
 
-def _time_case(case: BenchCase, preset: str, repeats: int, fastpath: bool):
-    """Best-of-``repeats`` wall time; returns ``(seconds, last_result)``."""
-    best = None
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()  # repro-lint: disable=REPRO001
-        result = _run_case(case, preset, fastpath)
-        elapsed = time.perf_counter() - t0  # repro-lint: disable=REPRO001
-        if best is None or elapsed < best:
-            best = elapsed
-    return best, result
+def _timed(case: BenchCase, preset: str, fastpath: bool):
+    """One timed simulation; returns ``(seconds, result)``."""
+    t0 = time.perf_counter()  # repro-lint: disable=REPRO001
+    result = _run_case(case, preset, fastpath)
+    elapsed = time.perf_counter() - t0  # repro-lint: disable=REPRO001
+    return elapsed, result
+
+
+def _median(sorted_values: list[float]) -> float:
+    """Median of an already-sorted, non-empty list."""
+    n = len(sorted_values)
+    mid = n // 2
+    if n % 2:
+        return sorted_values[mid]
+    return (sorted_values[mid - 1] + sorted_values[mid]) / 2.0
 
 
 def bench_case(case: BenchCase, preset: str = "tiny",
                repeats: int = 3) -> dict:
-    """Benchmark one case in both modes; returns the report record."""
-    fast_s, fast = _time_case(case, preset, repeats, fastpath=True)
-    slow_s, slow = _time_case(case, preset, repeats, fastpath=False)
+    """Benchmark one case in both modes; returns the report record.
+
+    The fast and slow legs alternate repeat by repeat (rather than all
+    fast runs then all slow runs) so host load drifting over the
+    measurement window lands on both legs roughly equally and mostly
+    divides out of the gated speedup ratio.  The reported ``speedup``
+    is the *median of the per-repeat ratios* — each ratio pairs a fast
+    and a slow sample taken back to back, so a load spike that lands on
+    one repeat skews one ratio, not the whole estimate; the ratio of
+    best-of-N wall times, by contrast, is corrupted whenever the two
+    minima come from differently-loaded moments of the window.
+    """
+    fast_s = slow_s = None
+    fast = slow = None
+    ratios = []
+    for _ in range(repeats):
+        fast_elapsed, fast = _timed(case, preset, fastpath=True)
+        if fast_s is None or fast_elapsed < fast_s:
+            fast_s = fast_elapsed
+        slow_elapsed, slow = _timed(case, preset, fastpath=False)
+        if slow_s is None or slow_elapsed < slow_s:
+            slow_s = slow_elapsed
+        if fast_elapsed > 0:
+            ratios.append(slow_elapsed / fast_elapsed)
+    ratios.sort()
     if fast.exec_time_fs != slow.exec_time_fs:
         raise RuntimeError(
             f"{case.name}: fast/slow modes disagree on simulated time "
@@ -149,12 +189,15 @@ def bench_case(case: BenchCase, preset: str = "tiny",
     sim_ops = fast.instructions + fast.word_accesses
     retired = fast.stats.get("sim.phase_iters", 0)
     dispatched = fast.stats.get("sim.phase_iters_total", 0)
+    st_retired = fast.stats.get("sim.stream_iters", 0)
+    st_dispatched = fast.stats.get("sim.stream_iters_total", 0)
     return {
         **asdict(case),
         "preset": preset,
         "wall_s": fast_s,
         "slow_wall_s": slow_s,
-        "speedup": slow_s / fast_s if fast_s > 0 else 0.0,
+        "speedup": (_median(ratios) if ratios
+                    else (slow_s / fast_s if fast_s > 0 else 0.0)),
         "events": fast.stats["sim.events"],
         "slow_events": slow.stats["sim.events"],
         "events_per_s": slow.stats["sim.events"] / slow_s if slow_s else 0.0,
@@ -163,6 +206,9 @@ def bench_case(case: BenchCase, preset: str = "tiny",
         "exec_time_fs": fast.exec_time_fs,
         "phase_iters_retired": retired,
         "phase_coverage": retired / dispatched if dispatched else 0.0,
+        "stream_iters_retired": st_retired,
+        "stream_coverage": (st_retired / st_dispatched
+                            if st_dispatched else 0.0),
     }
 
 
@@ -214,9 +260,25 @@ def compare_reports(current: dict, baseline: dict,
       more than ``max_regression`` above the baseline's (the
       quantum-extension elision regressing shows up here first, even on
       a noisy host).
+
+    Additionally every *current* case (baseline or new) must clear the
+    absolute :data:`SPEEDUP_NET_LOSS_FLOOR`: the hatches together may
+    never make a case slower than the plain interpreter.  The floor
+    only applies when the current report was taken with at least three
+    repeats — per-case speedup is the median of per-repeat ratios, and
+    with fewer samples a single noisy window (or first-run warm-up)
+    dominates, making the absolute check meaningless.
     """
     problems: list[str] = []
     current_by_name = {c["name"]: c for c in current.get("cases", [])}
+    if current.get("repeats", 0) >= 3:
+        for cur in current.get("cases", []):
+            if cur["speedup"] < SPEEDUP_NET_LOSS_FLOOR:
+                problems.append(
+                    f"{cur['name']}: fast leg is a net loss at "
+                    f"{cur['speedup']:.3f}x (floor "
+                    f"{SPEEDUP_NET_LOSS_FLOOR:.2f}x)"
+                )
     for base in baseline.get("cases", []):
         name = base["name"]
         cur = current_by_name.get(name)
@@ -243,13 +305,16 @@ def render_report(report: dict) -> str:
     from repro.harness.reports import format_table
 
     headers = ["case", "wall_ms", "slow_ms", "speedup", "events",
-               "events/s", "sim_ops/s", "ph_iters", "ph_cov"]
+               "events/s", "sim_ops/s", "ph_iters", "ph_cov",
+               "st_iters", "st_cov"]
     rows = [
         [c["name"], f"{c['wall_s'] * 1e3:.1f}", f"{c['slow_wall_s'] * 1e3:.1f}",
          f"{c['speedup']:.2f}x", str(c["events"]),
          f"{c['events_per_s']:,.0f}", f"{c['sim_ops_per_s']:,.0f}",
          str(c.get("phase_iters_retired", 0)),
-         f"{c.get('phase_coverage', 0.0):.0%}"]
+         f"{c.get('phase_coverage', 0.0):.0%}",
+         str(c.get("stream_iters_retired", 0)),
+         f"{c.get('stream_coverage', 0.0):.0%}"]
         for c in report["cases"]
     ]
     return (f"simulator bench (rev {report['rev']}, preset "

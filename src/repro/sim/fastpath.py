@@ -39,12 +39,29 @@ closed form over the iteration axis).  Its escape hatch is
 which makes the processor spill every phase back into per-iteration
 block replays, exercising the block interpreter unchanged.
 
-The three hatches compose into an eight-mode identity matrix (phases x
-blocks x fastpath), every cell bit-identical except ``stats["sim.*"]``
-diagnostics: the phase closed form additionally requires ``REPRO_BLOCKS``
-on (phases retire *block* iterations, so disabling blocks demotes phases
-to spill too), and ``REPRO_FASTPATH=0 REPRO_BLOCKS=0 REPRO_PHASES=0`` is
-the seed's execution model, byte for byte.
+The stream engine (PR 10) is the streaming-model counterpart of the
+phase engine: workloads may yield :class:`repro.core.ops.OpStream`
+descriptors — the canonical DMA double-buffer loop (dget next tile /
+dwait / compute kernel / dput previous tile) unrolled to a fixed
+per-iteration step list at constant address strides — that the
+processor's stream arm retires iteration by iteration without generator
+round trips, and the DMA engine serves all-L2-hit line commands through
+a fused renewal loop (one arithmetic pass over the resource calendars
+instead of four method calls per granule).  Its escape hatch is
+
+    REPRO_STREAMS=0 python -m repro ...
+
+which makes the processor materialize every stream back into the plain
+per-op DMA stream and the DMA engine walk every granule through the
+ordinary resource methods.
+
+The four hatches compose into a sixteen-mode identity matrix (streams x
+phases x blocks x fastpath), every cell bit-identical except
+``stats["sim.*"]`` diagnostics: the phase closed form additionally
+requires ``REPRO_BLOCKS`` on (phases retire *block* iterations, so
+disabling blocks demotes phases to spill too), and ``REPRO_FASTPATH=0
+REPRO_BLOCKS=0 REPRO_PHASES=0 REPRO_STREAMS=0`` is the seed's execution
+model, byte for byte.
 
 All flags are read when a system is constructed, not at import time, so
 tests can toggle them per-run with ``monkeypatch.setenv``.
@@ -76,4 +93,10 @@ def blocks_enabled() -> bool:
 def phases_enabled() -> bool:
     """True unless ``REPRO_PHASES`` is set to 0/false/off/no."""
     raw = os.environ.get("REPRO_PHASES", "1")  # repro-lint: disable=REPRO007
+    return raw.strip().lower() not in _OFF_VALUES
+
+
+def streams_enabled() -> bool:
+    """True unless ``REPRO_STREAMS`` is set to 0/false/off/no."""
+    raw = os.environ.get("REPRO_STREAMS", "1")  # repro-lint: disable=REPRO007
     return raw.strip().lower() not in _OFF_VALUES

@@ -544,8 +544,9 @@ class TestReportRendering:
     def test_to_dict_schema(self):
         d = self._report().to_dict()
         assert set(d) == {"workload", "model", "cores", "preset", "hazards",
-                          "warnings", "blocks", "phases", "candidates",
-                          "converted", "phased", "ops_walked", "truncated"}
+                          "warnings", "blocks", "phases", "streams",
+                          "candidates", "converted", "phased", "streamed",
+                          "ops_walked", "truncated"}
         for entry in d["blocks"]:
             assert {"name", "replays", "strides", "eligible"} <= set(entry)
         for entry in d["phases"]:

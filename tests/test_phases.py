@@ -415,15 +415,19 @@ class TestCounters:
         assert off.stats["sim.phase_iters_total"] == total
         assert off.stats["sim.phase_iters"] == 0
 
-    def test_fir_dispatches_but_never_retires(self, monkeypatch):
+    def test_fir_retires_through_miss_stream(self, monkeypatch):
         # fir streams lines that are never already resident, so its
-        # phases always spill at the residency gate — by design.
+        # phases always fail the residency gate — but the miss-stream
+        # arm drives the hierarchy walker in a fused per-line loop and
+        # still retires every iteration at the phase level.
         monkeypatch.setenv("REPRO_FASTPATH", "1")
         monkeypatch.setenv("REPRO_BLOCKS", "1")
         monkeypatch.setenv("REPRO_PHASES", "1")
         result = run_workload("fir", model="cc", cores=1, preset="tiny")
-        assert result.stats["sim.phase_iters_total"] > 0
-        assert result.stats["sim.phase_iters"] == 0
+        total = result.stats["sim.phase_iters_total"]
+        assert total > 0
+        retired = result.stats["sim.phase_iters"]
+        assert 0 < retired <= total
 
 
 class TestExperimentTables:
